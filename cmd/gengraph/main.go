@@ -1,0 +1,54 @@
+// Command gengraph emits synthetic edge lists in the formats this
+// repository's tools consume: one "src dst" pair per line.
+//
+// Usage:
+//
+//	gengraph -kind rmat -scale 16 -edges 1000000 > g.txt
+//	gengraph -kind graph500 -scale 18 -edges 4000000 -sym > g500.txt
+//	gengraph -kind stream -vertices 100000 -edges 500000 > stream.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"lsgraph/internal/gen"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "rmat", "rmat | graph500 | uniform | stream")
+		scale    = flag.Uint("scale", 14, "log2 vertex count (rmat/graph500)")
+		vertices = flag.Uint("vertices", 1<<14, "vertex count (uniform/stream)")
+		edges    = flag.Int("edges", 100000, "edge count")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		theta    = flag.Float64("theta", 1.2, "Zipf exponent (stream)")
+		sym      = flag.Bool("sym", false, "symmetrize (and deduplicate) the output")
+	)
+	flag.Parse()
+
+	var es []gen.Edge
+	switch *kind {
+	case "rmat":
+		es = gen.NewRMatPaper(*scale, *seed).Edges(*edges)
+	case "graph500":
+		es = gen.NewGraph500(*scale, *seed).Edges(*edges)
+	case "uniform":
+		es = gen.Uniform(uint32(*vertices), *edges, *seed)
+	case "stream":
+		es = gen.NewTemporalStream(uint32(*vertices), *theta, *seed).Edges(*edges)
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *sym {
+		es = gen.Symmetrize(es)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, e := range es {
+		fmt.Fprintf(w, "%d %d\n", e.Src, e.Dst)
+	}
+}

@@ -1,0 +1,77 @@
+// Command lsbench regenerates the tables and figures of the LSGraph
+// paper's evaluation at a configurable scale.
+//
+// Usage:
+//
+//	lsbench                         # run every experiment at default scale
+//	lsbench -exp fig12,table3       # run selected experiments
+//	lsbench -scale 14 -trials 5     # bigger graphs, more repetitions
+//	lsbench -quick                  # smallest useful scale (~1 minute)
+//	lsbench -list                   # list experiment names
+//
+// Reports are plain-text tables on stdout; each header cites the paper
+// result the experiment corresponds to.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lsgraph/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		scale   = flag.Uint("scale", 13, "rMat scale (log2 vertices) of the LJ stand-in")
+		trials  = flag.Int("trials", 3, "repetitions averaged per measurement")
+		workers = flag.Int("workers", 0, "update/analytics parallelism (0 = all cores)")
+		batches = flag.String("batches", "", "comma-separated batch sizes (default per scale)")
+		quick   = flag.Bool("quick", false, "use the quick scale preset")
+		list    = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Experiments {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	s := bench.DefaultScale()
+	if *quick {
+		s = bench.QuickScale()
+	} else {
+		s.Base = *scale
+		s.Trials = *trials
+	}
+	s.Workers = *workers
+	if *batches != "" {
+		s.BatchSizes = s.BatchSizes[:0]
+		for _, f := range strings.Split(*batches, ",") {
+			var b int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &b); err != nil || b <= 0 {
+				fmt.Fprintf(os.Stderr, "lsbench: bad batch size %q\n", f)
+				os.Exit(2)
+			}
+			s.BatchSizes = append(s.BatchSizes, b)
+		}
+	}
+
+	names := bench.Experiments
+	if *expFlag != "all" {
+		names = nil
+		for _, f := range strings.Split(*expFlag, ",") {
+			names = append(names, strings.TrimSpace(f))
+		}
+	}
+	for _, name := range names {
+		if err := bench.Run(name, s, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lsbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a small graph, stream in a batch of updates, run BFS
+// and PageRank on the updated snapshot — the minimal end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+
+	"lsgraph"
+)
+
+func main() {
+	// A small undirected graph: store both directions of every edge.
+	raw := []lsgraph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+		{Src: 3, Dst: 0}, {Src: 1, Dst: 3}, {Src: 4, Dst: 5},
+	}
+	var edges []lsgraph.Edge
+	for _, e := range raw {
+		edges = append(edges, e, lsgraph.Edge{Src: e.Dst, Dst: e.Src})
+	}
+
+	g := lsgraph.NewFromEdges(6, edges)
+	fmt.Printf("graph: %d vertices, %d directed edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("neighbors of 1: %v\n", g.Neighbors(1))
+
+	// Analytics on the current snapshot.
+	parent := lsgraph.BFS(g, 0)
+	fmt.Printf("BFS parents from 0: %v\n", parent)
+	comp := lsgraph.ConnectedComponents(g)
+	fmt.Printf("components: %v\n", comp)
+
+	// Stream an update: connect the two components, then re-analyze.
+	g.InsertEdges([]lsgraph.Edge{{Src: 3, Dst: 4}, {Src: 4, Dst: 3}})
+	comp = lsgraph.ConnectedComponents(g)
+	fmt.Printf("components after linking 3-4: %v\n", comp)
+
+	rank := lsgraph.PageRank(g, 10)
+	best, bestV := 0.0, uint32(0)
+	for v, r := range rank {
+		if r > best {
+			best, bestV = r, uint32(v)
+		}
+	}
+	fmt.Printf("highest PageRank: vertex %d (%.4f)\n", bestV, best)
+
+	// Deletions are batched the same way.
+	g.DeleteEdges([]lsgraph.Edge{{Src: 1, Dst: 3}, {Src: 3, Dst: 1}})
+	fmt.Printf("after delete: %d directed edges, has(1,3)=%v\n", g.NumEdges(), g.Has(1, 3))
+}

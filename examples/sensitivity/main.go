@@ -1,0 +1,53 @@
+// Sensitivity: explore the engine's two tuning knobs on a live workload —
+// the space amplification factor α and the RIA→HITree threshold M — the
+// trade-off the paper's §6.5 sweeps. Run it to see where the defaults
+// (α=1.2, M=4096) sit between update speed, analytics speed, and memory.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"lsgraph"
+	"lsgraph/internal/gen"
+)
+
+func main() {
+	const scale, load, batch = 13, 400_000, 100_000
+	n := uint32(1) << scale
+	loadEdges := gen.Symmetrize(gen.NewRMatPaper(scale, 3).Edges(load))
+	up := gen.NewRMatPaper(scale, 4).Edges(batch)
+
+	fmt.Printf("%-6s %-6s %12s %12s %10s\n", "alpha", "M", "insert(e/s)", "pr-time", "mem(MB)")
+	for _, alpha := range []float64{1.1, 1.2, 1.5, 2.0} {
+		for _, m := range []int{1 << 10, 1 << 12, 1 << 14} {
+			g := lsgraph.New(n, lsgraph.WithAlpha(alpha), lsgraph.WithM(m))
+			g.InsertEdges(toPub(loadEdges))
+
+			src := make([]uint32, len(up))
+			dst := make([]uint32, len(up))
+			for i, e := range up {
+				src[i], dst[i] = e.Src, e.Dst
+			}
+			t0 := time.Now()
+			g.InsertBatch(src, dst)
+			ins := time.Since(t0)
+
+			t1 := time.Now()
+			lsgraph.PageRank(g, 10)
+			pr := time.Since(t1)
+
+			fmt.Printf("%-6.1f %-6d %12.3g %12v %10.1f\n",
+				alpha, m, float64(batch)/ins.Seconds(),
+				pr.Round(time.Microsecond), float64(g.MemoryUsage())/(1<<20))
+		}
+	}
+}
+
+func toPub(es []gen.Edge) []lsgraph.Edge {
+	out := make([]lsgraph.Edge, len(es))
+	for i, e := range es {
+		out[i] = lsgraph.Edge{Src: e.Src, Dst: e.Dst}
+	}
+	return out
+}

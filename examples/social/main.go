@@ -1,0 +1,82 @@
+// Social: the paper's motivating workload — a social network ingesting
+// follower events in batches, alternating updates with analytics on each
+// new snapshot (influence via PageRank, reachability via BFS, community
+// structure via connected components).
+//
+// The stream is a hub-skewed temporal generator standing in for a real
+// follower feed: a few celebrities attract most new edges, and the user
+// base grows over time.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"lsgraph"
+	"lsgraph/internal/gen"
+)
+
+const (
+	users      = 1 << 15
+	totalEvts  = 400_000
+	batchEvts  = 50_000
+	unfollowPc = 10 // percent of each batch later retracted
+)
+
+func main() {
+	stream := gen.NewTemporalStream(users, 1.2, 7).Edges(totalEvts)
+	g := lsgraph.New(users)
+
+	fmt.Printf("social stream: %d users, %d follow events, batches of %d\n\n",
+		users, totalEvts, batchEvts)
+
+	for lo := 0; lo < len(stream); lo += batchEvts {
+		hi := lo + batchEvts
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		batch := make([]lsgraph.Edge, 0, 2*(hi-lo))
+		for _, e := range stream[lo:hi] {
+			// Follows are symmetric here (mutual connections).
+			batch = append(batch,
+				lsgraph.Edge{Src: e.Src, Dst: e.Dst},
+				lsgraph.Edge{Src: e.Dst, Dst: e.Src})
+		}
+
+		t0 := time.Now()
+		g.InsertEdges(batch)
+		ingest := time.Since(t0)
+
+		// A fraction of follows are retracted (unfollows).
+		retract := batch[:len(batch)*unfollowPc/100]
+		g.DeleteEdges(retract)
+
+		// Analytics on the new snapshot.
+		t1 := time.Now()
+		rank := lsgraph.PageRank(g, 10)
+		pr := time.Since(t1)
+		top, topV := 0.0, uint32(0)
+		for v, r := range rank {
+			if r > top {
+				top, topV = r, uint32(v)
+			}
+		}
+
+		t2 := time.Now()
+		comp := lsgraph.ConnectedComponents(g)
+		cc := time.Since(t2)
+		communities := map[uint32]int{}
+		for _, c := range comp {
+			communities[c]++
+		}
+
+		fmt.Printf("after %7d events: %8d edges | ingest %8v | PR %7v (top user %5d) | CC %7v (%d communities)\n",
+			hi, g.NumEdges(), ingest.Round(time.Microsecond),
+			pr.Round(time.Microsecond), topV, cc.Round(time.Microsecond),
+			len(communities))
+	}
+
+	fmt.Printf("\nfinal memory: %.1f MB (index overhead %.2f%%)\n",
+		float64(g.MemoryUsage())/(1<<20),
+		100*float64(g.IndexMemory())/float64(g.MemoryUsage()))
+}

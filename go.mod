@@ -1,0 +1,3 @@
+module lsgraph
+
+go 1.22

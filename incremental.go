@@ -1,0 +1,68 @@
+package lsgraph
+
+import "lsgraph/internal/incr"
+
+// IncrementalCC maintains connected-component labels across update
+// batches: after InsertEdges, call OnInsert with the same batch; after
+// DeleteEdges, call OnDelete. Insertions propagate only from touched
+// vertices; deletions that may split a component fall back to a full
+// recomputation.
+type IncrementalCC struct {
+	cc *incr.CC
+}
+
+// NewIncrementalCC computes initial labels for g.
+func NewIncrementalCC(g *Graph) *IncrementalCC {
+	return &IncrementalCC{cc: incr.NewCC(g.g, 0)}
+}
+
+// Labels returns current component labels (do not mutate).
+func (c *IncrementalCC) Labels() []uint32 { return c.cc.Labels() }
+
+// Same reports whether u and v are in one component.
+func (c *IncrementalCC) Same(u, v uint32) bool { return c.cc.Same(u, v) }
+
+// OnInsert updates labels after g ingested the given insertions.
+func (c *IncrementalCC) OnInsert(es []Edge) {
+	src, dst := split(es)
+	c.cc.OnInsert(src, dst)
+}
+
+// OnDelete updates labels after g ingested the given deletions.
+func (c *IncrementalCC) OnDelete(es []Edge) {
+	src, dst := split(es)
+	c.cc.OnDelete(src, dst)
+}
+
+// Recomputes returns how many deletions forced a full recomputation.
+func (c *IncrementalCC) Recomputes() int { return c.cc.Recomputes }
+
+// IncrementalBFS maintains hop distances from a fixed source across
+// update batches, with the same OnInsert/OnDelete contract as
+// IncrementalCC.
+type IncrementalBFS struct {
+	b *incr.BFS
+}
+
+// NewIncrementalBFS computes initial depths from src.
+func NewIncrementalBFS(g *Graph, src uint32) *IncrementalBFS {
+	return &IncrementalBFS{b: incr.NewBFS(g.g, src, 0)}
+}
+
+// Depths returns current hop distances, -1 for unreached (do not mutate).
+func (b *IncrementalBFS) Depths() []int32 { return b.b.Depths() }
+
+// OnInsert updates depths after g ingested the given insertions.
+func (b *IncrementalBFS) OnInsert(es []Edge) {
+	src, dst := split(es)
+	b.b.OnInsert(src, dst)
+}
+
+// OnDelete updates depths after g ingested the given deletions.
+func (b *IncrementalBFS) OnDelete(es []Edge) {
+	src, dst := split(es)
+	b.b.OnDelete(src, dst)
+}
+
+// Recomputes returns how many deletions forced a full recomputation.
+func (b *IncrementalBFS) Recomputes() int { return b.b.Recomputes }

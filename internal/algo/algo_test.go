@@ -1,0 +1,339 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"lsgraph/internal/engine"
+	"lsgraph/internal/gen"
+	"lsgraph/internal/refgraph"
+)
+
+// buildRef constructs a symmetrized oracle graph from edges.
+func buildRef(n uint32, es []gen.Edge) *refgraph.Graph {
+	g := refgraph.New(n)
+	for _, e := range es {
+		g.Insert(e.Src, e.Dst)
+		g.Insert(e.Dst, e.Src)
+	}
+	return g
+}
+
+// serialBFSDepths is the obvious queue BFS for cross-checking.
+func serialBFSDepths(g engine.Graph, src uint32) []int32 {
+	n := int(g.NumVertices())
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = -1
+	}
+	d[src] = 0
+	q := []uint32{src}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		g.ForEachNeighbor(v, func(u uint32) {
+			if d[u] == -1 {
+				d[u] = d[v] + 1
+				q = append(q, u)
+			}
+		})
+	}
+	return d
+}
+
+func testGraph(t *testing.T) *refgraph.Graph {
+	t.Helper()
+	es := gen.NewRMatPaper(9, 5).Edges(4000)
+	return buildRef(512, es)
+}
+
+func TestBFSMatchesSerial(t *testing.T) {
+	g := testGraph(t)
+	want := serialBFSDepths(g, 0)
+	parent := BFS(g, 0, 4)
+	for v := range parent {
+		reached := parent[v] != NoParent
+		if reached != (want[v] != -1) {
+			t.Fatalf("vertex %d reachability mismatch", v)
+		}
+		if reached && v != 0 {
+			// Parent must be exactly one level shallower.
+			pu := parent[v]
+			if want[pu] != want[v]-1 {
+				t.Fatalf("vertex %d: parent %d at depth %d, v at %d",
+					v, pu, want[pu], want[v])
+			}
+		}
+	}
+	depths := BFSLevels(g, 0, 4)
+	for v := range depths {
+		if depths[v] != want[v] {
+			t.Fatalf("BFSLevels(%d)=%d want %d", v, depths[v], want[v])
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := refgraph.New(6)
+	g.Insert(0, 1)
+	g.Insert(1, 0)
+	g.Insert(3, 4)
+	g.Insert(4, 3)
+	parent := BFS(g, 0, 2)
+	if parent[1] != 0 || parent[3] != NoParent || parent[5] != NoParent {
+		t.Fatalf("disconnected BFS wrong: %v", parent)
+	}
+}
+
+// serialBC is a direct single-threaded Brandes implementation.
+func serialBC(g engine.Graph, src uint32) []float64 {
+	n := int(g.NumVertices())
+	sigma := make([]float64, n)
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	sigma[src] = 1
+	depth[src] = 0
+	var order []uint32
+	q := []uint32{src}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		order = append(order, v)
+		g.ForEachNeighbor(v, func(u uint32) {
+			if depth[u] == -1 {
+				depth[u] = depth[v] + 1
+				q = append(q, u)
+			}
+			if depth[u] == depth[v]+1 {
+				sigma[u] += sigma[v]
+			}
+		})
+	}
+	delta := make([]float64, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		g.ForEachNeighbor(v, func(u uint32) {
+			if depth[u] == depth[v]+1 && sigma[u] > 0 {
+				delta[v] += sigma[v] / sigma[u] * (1 + delta[u])
+			}
+		})
+	}
+	delta[src] = 0
+	return delta
+}
+
+func TestBCMatchesSerial(t *testing.T) {
+	g := testGraph(t)
+	want := serialBC(g, 0)
+	got := BC(g, 0, 4)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+			t.Fatalf("BC[%d]=%g want %g", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBCPath(t *testing.T) {
+	// Path 0-1-2-3: delta(1) counts pairs through it = 2 (0->2, 0->3),
+	// delta(2) = 1 (0->3) when sourced at 0... Brandes dependency of v for
+	// source s: sum over t of sigma_st(v)/sigma_st. For a path from 0:
+	// delta(1)=2, delta(2)=1, delta(3)=0.
+	g := refgraph.New(4)
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {2, 3}} {
+		g.Insert(e[0], e[1])
+		g.Insert(e[1], e[0])
+	}
+	got := BC(g, 0, 1)
+	want := []float64{0, 2, 1, 0}
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("path BC[%d]=%g want %g", v, got[v], want[v])
+		}
+	}
+}
+
+func serialPageRank(g engine.Graph, iters int) []float64 {
+	n := int(g.NumVertices())
+	rank := make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	for it := 0; it < iters; it++ {
+		contrib := make([]float64, n)
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if d := g.Degree(uint32(v)); d > 0 {
+				contrib[v] = rank[v] / float64(d)
+			} else {
+				dangling += rank[v]
+			}
+		}
+		base := (1-PageRankDamping)*inv + PageRankDamping*dangling*inv
+		next := make([]float64, n)
+		for v := 0; v < n; v++ {
+			var acc float64
+			g.ForEachNeighbor(uint32(v), func(u uint32) { acc += contrib[u] })
+			next[v] = base + PageRankDamping*acc
+		}
+		rank = next
+	}
+	return rank
+}
+
+func TestPageRankMatchesSerial(t *testing.T) {
+	g := testGraph(t)
+	want := serialPageRank(g, 10)
+	got := PageRank(g, 10, 4)
+	var sum float64
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("PR[%d]=%g want %g", v, got[v], want[v])
+		}
+		sum += got[v]
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %g, want 1", sum)
+	}
+}
+
+func TestCCMatchesUnionFind(t *testing.T) {
+	es := gen.NewRMatPaper(9, 8).Edges(2000)
+	g := buildRef(512, es)
+	comp := CC(g, 4)
+	// Union-find oracle.
+	uf := make([]uint32, 512)
+	for i := range uf {
+		uf[i] = uint32(i)
+	}
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	for _, e := range es {
+		a, b := find(e.Src), find(e.Dst)
+		if a != b {
+			uf[a] = b
+		}
+	}
+	// Same partition: comp labels equal iff union-find roots equal.
+	type pair struct{ c, r uint32 }
+	seen := map[pair]bool{}
+	c2r := map[uint32]uint32{}
+	r2c := map[uint32]uint32{}
+	for v := uint32(0); v < 512; v++ {
+		r := find(v)
+		seen[pair{comp[v], r}] = true
+		if old, ok := c2r[comp[v]]; ok && old != r {
+			t.Fatalf("component %d spans union-find roots %d and %d", comp[v], old, r)
+		}
+		c2r[comp[v]] = r
+		if old, ok := r2c[r]; ok && old != comp[v] {
+			t.Fatalf("union-find root %d split into components %d and %d", r, old, comp[v])
+		}
+		r2c[r] = comp[v]
+	}
+	_ = seen
+}
+
+func TestCCLabelIsMinID(t *testing.T) {
+	g := refgraph.New(5)
+	for _, e := range [][2]uint32{{4, 2}, {2, 4}, {2, 1}, {1, 2}} {
+		g.Insert(e[0], e[1])
+	}
+	comp := CC(g, 1)
+	if comp[1] != 1 || comp[2] != 1 || comp[4] != 1 || comp[0] != 0 || comp[3] != 3 {
+		t.Fatalf("CC labels: %v", comp)
+	}
+}
+
+func serialTriangles(g engine.Graph) uint64 {
+	n := int(g.NumVertices())
+	var count uint64
+	for v := 0; v < n; v++ {
+		nv := engine.Neighbors(g, uint32(v))
+		for _, u := range nv {
+			if u <= uint32(v) {
+				continue
+			}
+			nu := engine.Neighbors(g, u)
+			// Count common neighbors > u.
+			i, j := 0, 0
+			for i < len(nv) && j < len(nu) {
+				a, b := nv[i], nu[j]
+				switch {
+				case a < b:
+					i++
+				case a > b:
+					j++
+				default:
+					if a > u {
+						count++
+					}
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestTriangleCountMatchesSerial(t *testing.T) {
+	g := testGraph(t)
+	want := serialTriangles(g)
+	res := TriangleCount(g, 4)
+	if res.Triangles != want {
+		t.Fatalf("TC=%d want %d", res.Triangles, want)
+	}
+	if want == 0 {
+		t.Fatal("test graph should contain triangles")
+	}
+	if res.Total < res.Traversal {
+		t.Fatal("total time below traversal time")
+	}
+}
+
+func TestTriangleCountKnownClique(t *testing.T) {
+	// K5 has C(5,3) = 10 triangles.
+	g := refgraph.New(5)
+	for v := uint32(0); v < 5; v++ {
+		for u := uint32(0); u < 5; u++ {
+			if v != u {
+				g.Insert(v, u)
+			}
+		}
+	}
+	if res := TriangleCount(g, 2); res.Triangles != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", res.Triangles)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	g := refgraph.New(3)
+	g.Insert(0, 2)
+	g.Insert(0, 1)
+	g.Insert(2, 0)
+	offs, adj := Materialize(g, 2)
+	if offs[0] != 0 || offs[1] != 2 || offs[2] != 2 || offs[3] != 3 {
+		t.Fatalf("offsets %v", offs)
+	}
+	if adj[0] != 1 || adj[1] != 2 || adj[2] != 0 {
+		t.Fatalf("adj %v", adj)
+	}
+}
+
+func TestUpperBound(t *testing.T) {
+	s := []uint32{1, 3, 3, 7}
+	for _, tc := range []struct{ x, want uint32 }{{0, 0}, {1, 1}, {3, 3}, {7, 4}, {9, 4}} {
+		if got := upperBound(s, tc.x); got != int(tc.want) {
+			t.Fatalf("upperBound(%d)=%d want %d", tc.x, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package algo
+
+import (
+	"math"
+	"sync/atomic"
+
+	"lsgraph/internal/engine"
+	"lsgraph/internal/parallel"
+)
+
+// BC computes single-source betweenness centrality contributions from src
+// (Brandes' algorithm restricted to one source, as in the paper's
+// evaluation): a forward frontier-synchronous phase counting shortest
+// paths, then a backward dependency-accumulation sweep over the BFS levels.
+// It returns the dependency score of every vertex.
+func BC(g engine.Graph, src uint32, p int) []float64 {
+	n := int(g.NumVertices())
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = NoParent
+	}
+	sigma := make([]uint64, n) // shortest-path counts
+	depth[src] = 0
+	sigma[src] = 1
+
+	var levels [][]uint32
+	frontier := []uint32{src}
+	next := make([]bool, n)
+	level := int32(0)
+	for len(frontier) > 0 {
+		levels = append(levels, frontier)
+		for i := range next {
+			next[i] = false
+		}
+		level++
+		parallel.For(len(frontier), p, func(i int) {
+			v := frontier[i]
+			sv := sigma[v]
+			g.ForEachNeighbor(v, func(u uint32) {
+				if atomic.CompareAndSwapInt32(&depth[u], NoParent, level) {
+					next[u] = true
+				}
+				if depth[u] == level {
+					atomic.AddUint64(&sigma[u], sv)
+				}
+			})
+		})
+		nf := make([]uint32, 0, len(frontier))
+		for v, ok := range next {
+			if ok {
+				nf = append(nf, uint32(v))
+			}
+		}
+		frontier = nf
+	}
+
+	// Backward sweep: vertices of level d read the finished deltas of
+	// level d+1, so each level is parallel with no atomics.
+	delta := make([]float64, n)
+	for l := len(levels) - 2; l >= 0; l-- {
+		lv := levels[l]
+		parallel.For(len(lv), p, func(i int) {
+			v := lv[i]
+			dv := int32(l)
+			var acc float64
+			g.ForEachNeighbor(v, func(u uint32) {
+				if depth[u] == dv+1 && sigma[u] > 0 {
+					acc += float64(sigma[v]) / float64(sigma[u]) * (1 + delta[u])
+				}
+			})
+			delta[v] = acc
+		})
+	}
+	delta[src] = 0
+	for i := range delta {
+		if math.IsNaN(delta[i]) {
+			delta[i] = 0
+		}
+	}
+	return delta
+}

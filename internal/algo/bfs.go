@@ -1,0 +1,147 @@
+// Package algo implements the five analytics kernels of the evaluation —
+// BFS, single-source betweenness centrality, PageRank, connected
+// components, and triangle counting — against the engine-neutral Graph
+// interface, so LSGraph and the three baselines run identical code above
+// the storage layer (the paper layers Ligra-style EdgeMap over each
+// system the same way).
+//
+// The kernels assume the input is symmetrized (every edge stored in both
+// directions), as in the paper's evaluation; direction-optimizing BFS and
+// pull-style PageRank read neighbor lists as in-edges under that
+// assumption.
+package algo
+
+import (
+	"sync/atomic"
+
+	"lsgraph/internal/engine"
+	"lsgraph/internal/parallel"
+)
+
+// NoParent marks unreached vertices in BFS/BC parent and depth arrays.
+const NoParent = int32(-1)
+
+// BFS runs a direction-optimizing (push/pull hybrid) parallel breadth-first
+// search from src using p workers (p <= 0 means GOMAXPROCS) and returns the
+// parent array, NoParent for unreached vertices (src is its own parent).
+func BFS(g engine.Graph, src uint32, p int) []int32 {
+	n := int(g.NumVertices())
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = NoParent
+	}
+	parent[src] = int32(src)
+
+	frontier := []uint32{src}
+	inFrontier := make([]bool, n)
+	next := make([]bool, n)
+	totalEdges := g.NumEdges()
+	for len(frontier) > 0 {
+		// Direction heuristic (Beamer): go bottom-up when the frontier
+		// touches a large fraction of the graph's edges.
+		var frontierEdges uint64
+		for _, v := range frontier {
+			frontierEdges += uint64(g.Degree(v))
+		}
+		for i := range next {
+			next[i] = false
+		}
+		if totalEdges > 0 && frontierEdges > totalEdges/20 {
+			for i := range inFrontier {
+				inFrontier[i] = false
+			}
+			for _, v := range frontier {
+				inFrontier[v] = true
+			}
+			bfsBottomUp(g, parent, inFrontier, next, p)
+		} else {
+			bfsTopDown(g, frontier, parent, next, p)
+		}
+		frontier = frontier[:0]
+		for v, ok := range next {
+			if ok {
+				frontier = append(frontier, uint32(v))
+			}
+		}
+	}
+	return parent
+}
+
+func bfsTopDown(g engine.Graph, frontier []uint32, parent []int32, next []bool, p int) {
+	parallel.For(len(frontier), p, func(i int) {
+		v := frontier[i]
+		g.ForEachNeighbor(v, func(u uint32) {
+			if atomic.CompareAndSwapInt32(&parent[u], NoParent, int32(v)) {
+				next[u] = true
+			}
+		})
+	})
+}
+
+func bfsBottomUp(g engine.Graph, parent []int32, inFrontier, next []bool, p int) {
+	parallel.For(len(parent), p, func(i int) {
+		if parent[i] != NoParent {
+			return
+		}
+		v := uint32(i)
+		done := false
+		if gu, ok := g.(untilGraph); ok {
+			gu.ForEachNeighborUntil(v, func(u uint32) bool {
+				if inFrontier[u] {
+					parent[i] = int32(u)
+					next[i] = true
+					return false
+				}
+				return true
+			})
+			return
+		}
+		g.ForEachNeighbor(v, func(u uint32) {
+			if !done && inFrontier[u] {
+				parent[i] = int32(u)
+				next[i] = true
+				done = true
+			}
+		})
+	})
+}
+
+// untilGraph is implemented by engines that support early-terminating
+// neighbor iteration; bottom-up BFS exploits it when available.
+type untilGraph interface {
+	ForEachNeighborUntil(v uint32, f func(u uint32) bool)
+}
+
+// BFSLevels returns the depth of each vertex from src (-1 if unreached),
+// derived from a BFS parent array walk; used by tests and BC.
+func BFSLevels(g engine.Graph, src uint32, p int) []int32 {
+	n := int(g.NumVertices())
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = NoParent
+	}
+	depth[src] = 0
+	frontier := []uint32{src}
+	level := int32(0)
+	next := make([]bool, n)
+	for len(frontier) > 0 {
+		for i := range next {
+			next[i] = false
+		}
+		level++
+		parallel.For(len(frontier), p, func(i int) {
+			g.ForEachNeighbor(frontier[i], func(u uint32) {
+				if atomic.CompareAndSwapInt32(&depth[u], NoParent, level) {
+					next[u] = true
+				}
+			})
+		})
+		frontier = frontier[:0]
+		for v, ok := range next {
+			if ok {
+				frontier = append(frontier, uint32(v))
+			}
+		}
+	}
+	return depth
+}

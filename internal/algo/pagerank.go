@@ -1,0 +1,64 @@
+package algo
+
+import (
+	"lsgraph/internal/engine"
+	"lsgraph/internal/parallel"
+)
+
+// PageRankDamping is the standard damping factor.
+const PageRankDamping = 0.85
+
+// PageRank runs iters synchronous pull-style iterations (Ligra-style, as
+// in the paper's evaluation; iters <= 0 means 10) with p workers and
+// returns the rank vector. Pull over neighbors reads each vertex's
+// in-contributions without atomics; dangling mass is redistributed evenly
+// each iteration so ranks stay a probability distribution.
+func PageRank(g engine.Graph, iters, p int) []float64 {
+	if iters <= 0 {
+		iters = 10
+	}
+	n := int(g.NumVertices())
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	contrib := make([]float64, n) // rank[u] / degree(u), precomputed per iter
+	next := make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	for it := 0; it < iters; it++ {
+		var danglingParts = make([]float64, parallel.Procs+1)
+		parallel.ForChunk(n, p, func(lo, hi int) {
+			var dangling float64
+			for v := lo; v < hi; v++ {
+				d := g.Degree(uint32(v))
+				if d == 0 {
+					dangling += rank[v]
+					contrib[v] = 0
+					continue
+				}
+				contrib[v] = rank[v] / float64(d)
+			}
+			// Chunks are claimed dynamically; accumulate via index hash to
+			// avoid a lock (false sharing is acceptable at this frequency).
+			slot := lo / 64 % len(danglingParts)
+			atomicAddFloat(&danglingParts[slot], dangling)
+		})
+		var dangling float64
+		for _, dp := range danglingParts {
+			dangling += dp
+		}
+		base := (1-PageRankDamping)*inv + PageRankDamping*dangling*inv
+		parallel.For(n, p, func(v int) {
+			var acc float64
+			g.ForEachNeighbor(uint32(v), func(u uint32) {
+				acc += contrib[u]
+			})
+			next[v] = base + PageRankDamping*acc
+		})
+		rank, next = next, rank
+	}
+	return rank
+}

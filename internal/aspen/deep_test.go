@@ -1,0 +1,82 @@
+package aspen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChunkSplitGrowth inserts densely into one key range so chunks split
+// repeatedly, then validates tree shape.
+func TestChunkSplitGrowth(t *testing.T) {
+	var root *cnode
+	for i := 0; i < 10000; i++ {
+		root, _ = insert(root, uint32(i))
+	}
+	checkTree(t, root)
+	if size(root) != 10000 {
+		t.Fatalf("size %d", size(root))
+	}
+}
+
+// TestInterleavedRanges alternates inserts across distant ranges to hit
+// the within-chunk, append, and descend paths together.
+func TestInterleavedRanges(t *testing.T) {
+	var root *cnode
+	model := map[uint32]bool{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 8000; i++ {
+		base := uint32(rng.Intn(4)) * 1_000_000_000
+		u := base + uint32(rng.Intn(3000))
+		var ok bool
+		root, ok = insert(root, u)
+		if ok == model[u] {
+			t.Fatalf("insert(%d) inconsistent", u)
+		}
+		model[u] = true
+	}
+	checkTree(t, root)
+	got := collect(root)
+	if len(got) != len(model) {
+		t.Fatalf("size %d model %d", len(got), len(model))
+	}
+}
+
+// TestRemoveWholeChunks deletes contiguous runs so nodes empty and merge.
+func TestRemoveWholeChunks(t *testing.T) {
+	ns := make([]uint32, 5000)
+	for i := range ns {
+		ns[i] = uint32(i)
+	}
+	root := build(ns)
+	for i := 1000; i < 4000; i++ {
+		var ok bool
+		root, ok = remove(root, uint32(i))
+		if !ok {
+			t.Fatalf("remove(%d)", i)
+		}
+	}
+	checkTree(t, root)
+	if size(root) != 2000 {
+		t.Fatalf("size %d", size(root))
+	}
+	if contains(root, 2500) || !contains(root, 500) || !contains(root, 4500) {
+		t.Fatal("membership wrong after range delete")
+	}
+}
+
+func TestGraphBulkDeletePath(t *testing.T) {
+	g := New(32, 1)
+	var src, dst []uint32
+	for u := uint32(0); u < 30; u++ {
+		if u == 3 {
+			continue
+		}
+		src = append(src, 3)
+		dst = append(dst, u)
+	}
+	g.InsertBatch(src, dst)
+	g.DeleteBatch(src[:20], dst[:20])
+	if g.Degree(3) != uint32(len(src)-20) {
+		t.Fatalf("degree %d", g.Degree(3))
+	}
+}

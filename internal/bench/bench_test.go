@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps every experiment under a second for unit testing.
+func tinyScale() Scale {
+	return Scale{Base: 8, BatchSizes: []int{100, 1000}, Trials: 1, Workers: 2}
+}
+
+func TestMakeDataset(t *testing.T) {
+	s := tinyScale()
+	d, err := MakeDataset("LJ-sim", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 256 || len(d.Edges) == 0 {
+		t.Fatalf("dataset shape: n=%d m=%d", d.N, len(d.Edges))
+	}
+	if d.AvgDegree() < 5 {
+		t.Fatalf("avg degree too low: %f", d.AvgDegree())
+	}
+	if _, err := MakeDataset("nope", s); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if len(AllDatasets(s)) != 5 || len(SmallDatasets(s)) != 2 {
+		t.Fatal("dataset registry counts")
+	}
+}
+
+func TestUpdateBatchDeterministicPerTrial(t *testing.T) {
+	s := tinyScale()
+	d, _ := MakeDataset("LJ-sim", s)
+	s1, d1 := d.UpdateBatch(50, 0)
+	s2, d2 := d.UpdateBatch(50, 0)
+	s3, _ := d.UpdateBatch(50, 1)
+	for i := range s1 {
+		if s1[i] != s2[i] || d1[i] != d2[i] {
+			t.Fatal("same trial produced different batches")
+		}
+	}
+	same := true
+	for i := range s1 {
+		if s1[i] != s3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different trials produced identical batches")
+	}
+}
+
+func TestEngineRegistry(t *testing.T) {
+	for _, name := range EngineNames {
+		e := NewEngine(name, 16, 1)
+		if e.Name() != name {
+			t.Fatalf("engine %q reports name %q", name, e.Name())
+		}
+	}
+	if len(NewEngines(16, 1)) != 4 {
+		t.Fatal("NewEngines count")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T", "note", "a", "b")
+	tb.Row("x", 1.23456)
+	var buf bytes.Buffer
+	tb.WriteTo(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T ==", "note", "a", "1.235"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("bogus", tinyScale(), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestEveryExperimentSmokes runs each experiment at tiny scale and asserts
+// it produces a non-empty report without panicking.
+func TestEveryExperimentSmokes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	s := tinyScale()
+	for _, name := range Experiments {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(name, s, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("empty report")
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"lsgraph/internal/aspen"
+	"lsgraph/internal/core"
+	"lsgraph/internal/engine"
+	"lsgraph/internal/pactree"
+	"lsgraph/internal/terrace"
+)
+
+// EngineNames lists the four systems in the paper's presentation order.
+var EngineNames = []string{"LSGraph", "Terrace", "Aspen", "PaC-tree"}
+
+// NewEngine constructs the named engine with n vertex slots.
+func NewEngine(name string, n uint32, workers int) engine.Engine {
+	switch name {
+	case "LSGraph":
+		return core.New(n, core.Config{Workers: workers})
+	case "Terrace":
+		return terrace.New(n, workers)
+	case "Aspen":
+		return aspen.New(n, workers)
+	case "PaC-tree":
+		return pactree.New(n, workers)
+	default:
+		panic("bench: unknown engine " + name)
+	}
+}
+
+// NewEngines constructs all four engines.
+func NewEngines(n uint32, workers int) []engine.Engine {
+	out := make([]engine.Engine, len(EngineNames))
+	for i, name := range EngineNames {
+		out[i] = NewEngine(name, n, workers)
+	}
+	return out
+}
+
+// Loaded returns the named engine preloaded with the dataset.
+func Loaded(name string, d *Dataset, workers int) engine.Engine {
+	e := NewEngine(name, d.N, workers)
+	src, dst := Split(d.Edges)
+	e.InsertBatch(src, dst)
+	return e
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"lsgraph/internal/hitree"
+)
+
+// Stats exposes engine-internal counters used by the evaluation.
+type Stats struct {
+	// RIAToHITree counts promotions of a vertex's overflow from RIA to
+	// HITree (§6.2 reports 29-1599 such changes when inserting 10^8 edges).
+	RIAToHITree atomic.Uint64
+}
+
+// Graph is the LSGraph engine: a directed graph over dense vertex IDs
+// [0, n) storing each vertex's out-neighbors in the differentiated
+// hierarchical indexed representation. Reads (Degree, ForEachNeighbor,
+// analytics) may run concurrently with each other but not with updates;
+// the streaming model alternates update and analytics phases (§1).
+type Graph struct {
+	verts   []vertex
+	m       atomic.Uint64 // directed edge count
+	cfg     Config
+	treeCfg hitree.Config
+	stats   Stats
+}
+
+// New returns an empty engine with n vertex slots.
+func New(n uint32, cfg Config) *Graph {
+	cfg.sanitize()
+	g := &Graph{verts: make([]vertex, n), cfg: cfg}
+	g.treeCfg = hitree.Config{
+		Alpha:        cfg.Alpha,
+		M:            cfg.M,
+		LeafArrayMax: cfg.ArrayMax,
+		DisableModel: cfg.DisableModel,
+	}
+	return g
+}
+
+// NewFromEdges builds an engine preloaded with es (directed, deduplicated
+// internally) using the bulk-load path.
+func NewFromEdges(n uint32, src, dst []uint32, cfg Config) *Graph {
+	g := New(n, cfg)
+	g.InsertBatch(src, dst)
+	return g
+}
+
+// Name identifies the engine in benchmark output.
+func (g *Graph) Name() string { return "LSGraph" }
+
+// Config returns the engine's effective configuration.
+func (g *Graph) Config() Config { return g.cfg }
+
+// Stats returns the engine's counters.
+func (g *Graph) Stats() *Stats { return &g.stats }
+
+// NumVertices returns the number of vertex slots.
+func (g *Graph) NumVertices() uint32 { return uint32(len(g.verts)) }
+
+// EnsureVertices grows the vertex space to at least n slots. Like updates,
+// it must not run concurrently with reads or other updates.
+func (g *Graph) EnsureVertices(n uint32) {
+	if uint32(len(g.verts)) >= n {
+		return
+	}
+	grown := make([]vertex, n)
+	copy(grown, g.verts)
+	g.verts = grown
+}
+
+// NumEdges returns the number of directed edges stored.
+func (g *Graph) NumEdges() uint64 { return g.m.Load() }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v uint32) uint32 { return g.verts[v].deg }
+
+// Has reports whether the directed edge (v,u) is present.
+func (g *Graph) Has(v, u uint32) bool {
+	vb := &g.verts[v]
+	n := vb.inlineLen()
+	if n > 0 && u <= vb.inline[n-1] {
+		_, found := vb.inlineFind(u)
+		return found
+	}
+	if vb.ov == nil {
+		return false
+	}
+	return vb.ov.Has(u)
+}
+
+// ForEachNeighbor applies f to v's out-neighbors in ascending order.
+func (g *Graph) ForEachNeighbor(v uint32, f func(u uint32)) {
+	vb := &g.verts[v]
+	n := vb.inlineLen()
+	for i := 0; i < n; i++ {
+		f(vb.inline[i])
+	}
+	if vb.ov != nil {
+		vb.ov.Traverse(f)
+	}
+}
+
+// ForEachNeighborUntil applies f in ascending order until f returns false.
+func (g *Graph) ForEachNeighborUntil(v uint32, f func(u uint32) bool) {
+	vb := &g.verts[v]
+	n := vb.inlineLen()
+	for i := 0; i < n; i++ {
+		if !f(vb.inline[i]) {
+			return
+		}
+	}
+	if vb.ov != nil {
+		vb.ov.TraverseUntil(f)
+	}
+}
+
+// AppendNeighbors appends v's neighbors in ascending order to dst.
+func (g *Graph) AppendNeighbors(v uint32, dst []uint32) []uint32 {
+	vb := &g.verts[v]
+	n := vb.inlineLen()
+	dst = append(dst, vb.inline[:n]...)
+	if vb.ov != nil {
+		dst = vb.ov.AppendTo(dst)
+	}
+	return dst
+}
+
+// insertOne adds edge (v,u), preserving the inline-holds-smallest
+// invariant; it reports whether the edge was new. Callers must own vertex v
+// exclusively.
+func (g *Graph) insertOne(v, u uint32) bool {
+	vb := &g.verts[v]
+	n := vb.inlineLen()
+	if n < inlineCap {
+		// Everything fits inline (ov must be nil by invariant).
+		i, found := vb.inlineFind(u)
+		if found {
+			return false
+		}
+		copy(vb.inline[i+1:n+1], vb.inline[i:n])
+		vb.inline[i] = u
+		vb.deg++
+		return true
+	}
+	// Inline area full. If u belongs inline, evict the inline maximum.
+	if u <= vb.inline[inlineCap-1] {
+		i, found := vb.inlineFind(u)
+		if found {
+			return false
+		}
+		evicted := vb.inline[inlineCap-1]
+		copy(vb.inline[i+1:], vb.inline[i:inlineCap-1])
+		vb.inline[i] = u
+		g.overflowInsert(vb, evicted)
+		vb.deg++
+		return true
+	}
+	if vb.ov == nil {
+		vb.ov = g.newOverflow([]uint32{u})
+		vb.deg++
+		return true
+	}
+	if !vb.ov.Insert(u) {
+		return false
+	}
+	vb.ov = g.maybePromote(vb.ov)
+	vb.deg++
+	return true
+}
+
+// overflowInsert pushes u (known absent) into vb's overflow, creating it if
+// needed.
+func (g *Graph) overflowInsert(vb *vertex, u uint32) {
+	if vb.ov == nil {
+		vb.ov = g.newOverflow([]uint32{u})
+		return
+	}
+	vb.ov.Insert(u)
+	vb.ov = g.maybePromote(vb.ov)
+}
+
+// DeleteVertex removes every edge incident to v on a symmetrized graph:
+// v's own adjacency plus, for each neighbor u, the reverse edge (u,v).
+// Like all updates it must not run concurrently with reads.
+func (g *Graph) DeleteVertex(v uint32) {
+	ns := g.AppendNeighbors(v, nil)
+	if len(ns) == 0 {
+		return
+	}
+	src := make([]uint32, 0, 2*len(ns))
+	dst := make([]uint32, 0, 2*len(ns))
+	for _, u := range ns {
+		src = append(src, v, u)
+		dst = append(dst, u, v)
+	}
+	g.DeleteBatch(src, dst)
+}
+
+// deleteOne removes edge (v,u); it reports whether the edge existed.
+// Callers must own vertex v exclusively.
+func (g *Graph) deleteOne(v, u uint32) bool {
+	vb := &g.verts[v]
+	n := vb.inlineLen()
+	i, found := vb.inlineFind(u)
+	if found {
+		copy(vb.inline[i:n-1], vb.inline[i+1:n])
+		if vb.ov != nil {
+			// Refill the inline area from the overflow minimum.
+			vb.inline[n-1] = vb.ov.DeleteMin()
+			if vb.ov.Len() == 0 {
+				vb.ov = nil
+			}
+		}
+		vb.deg--
+		return true
+	}
+	if vb.ov == nil || n == 0 || u < vb.inline[n-1] {
+		return false
+	}
+	if !vb.ov.Delete(u) {
+		return false
+	}
+	if vb.ov.Len() == 0 {
+		vb.ov = nil
+	}
+	vb.deg--
+	return true
+}
+
+// rebuildVertex replaces v's storage from the full sorted neighbor set ns.
+// The batch updater uses it for large per-vertex groups.
+func (g *Graph) rebuildVertex(v uint32, ns []uint32) {
+	vb := &g.verts[v]
+	vb.deg = uint32(len(ns))
+	n := len(ns)
+	if n > inlineCap {
+		n = inlineCap
+	}
+	copy(vb.inline[:n], ns[:n])
+	if len(ns) > inlineCap {
+		wasHITree := false
+		if _, ok := vb.ov.(*hitree.Tree); ok {
+			wasHITree = true
+		}
+		vb.ov = g.newOverflow(ns[inlineCap:])
+		if !wasHITree {
+			if _, ok := vb.ov.(*hitree.Tree); ok {
+				g.stats.RIAToHITree.Add(1)
+			}
+		}
+	} else {
+		vb.ov = nil
+	}
+}
+
+// MemoryUsage returns the engine's estimated resident bytes: the vertex
+// block array plus every overflow structure (Table 3).
+func (g *Graph) MemoryUsage() uint64 {
+	const vertexBytes = 64 // one cache line per vertex block (§5)
+	total := uint64(len(g.verts)) * vertexBytes
+	for i := range g.verts {
+		if ov := g.verts[i].ov; ov != nil {
+			total += ov.Memory()
+		}
+	}
+	return total
+}
+
+// IndexMemory returns the bytes spent on redundant indexes and learned
+// models, Table 3's index-overhead numerator.
+func (g *Graph) IndexMemory() uint64 {
+	var total uint64
+	for i := range g.verts {
+		if ov := g.verts[i].ov; ov != nil {
+			total += ov.IndexMemory()
+		}
+	}
+	return total
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lsgraph/internal/gen"
+	"lsgraph/internal/refgraph"
+)
+
+func TestEnsureVerticesGrows(t *testing.T) {
+	g := New(4, Config{})
+	g.InsertBatch([]uint32{1}, []uint32{2})
+	g.EnsureVertices(100)
+	if g.NumVertices() != 100 {
+		t.Fatalf("NumVertices=%d", g.NumVertices())
+	}
+	// Existing data survives the growth.
+	if !g.Has(1, 2) || g.Degree(1) != 1 {
+		t.Fatal("growth lost existing edges")
+	}
+	// New vertex slots are usable.
+	g.InsertBatch([]uint32{99}, []uint32{50})
+	if !g.Has(99, 50) {
+		t.Fatal("new slot unusable")
+	}
+	// Shrinking requests are no-ops.
+	g.EnsureVertices(10)
+	if g.NumVertices() != 100 {
+		t.Fatal("EnsureVertices shrank the graph")
+	}
+}
+
+func TestOutOfRangePanicsWithClearMessage(t *testing.T) {
+	g := New(4, Config{})
+	for _, edge := range [][2]uint32{{7, 1}, {1, 7}} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("edge %v: expected panic", edge)
+				}
+				if !strings.Contains(r.(string), "EnsureVertices") {
+					t.Fatalf("edge %v: uninformative panic %v", edge, r)
+				}
+			}()
+			g.InsertBatch([]uint32{edge[0]}, []uint32{edge[1]})
+		}()
+	}
+}
+
+func TestGrowingStreamScenario(t *testing.T) {
+	// Model the Table 4 pattern: the vertex set grows while edges stream.
+	g := New(0, Config{})
+	ref := refgraph.New(1 << 12)
+	ts := gen.NewTemporalStream(1<<12, 1.2, 3)
+	es := ts.Edges(20000)
+	for lo := 0; lo < len(es); lo += 500 {
+		hi := lo + 500
+		if hi > len(es) {
+			hi = len(es)
+		}
+		chunk := es[lo:hi]
+		g.EnsureVertices(gen.MaxVertex(chunk))
+		src := make([]uint32, len(chunk))
+		dst := make([]uint32, len(chunk))
+		for i, e := range chunk {
+			src[i], dst[i] = e.Src, e.Dst
+			ref.Insert(e.Src, e.Dst)
+		}
+		g.InsertBatch(src, dst)
+	}
+	if g.NumEdges() != ref.NumEdges() {
+		t.Fatalf("NumEdges %d want %d", g.NumEdges(), ref.NumEdges())
+	}
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) != ref.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"lsgraph/internal/gen"
+)
+
+func TestSnapshotIsImmutableView(t *testing.T) {
+	g := New(1<<10, Config{Workers: 2})
+	es := gen.Symmetrize(gen.NewRMatPaper(10, 4).Edges(5000))
+	src := make([]uint32, len(es))
+	dst := make([]uint32, len(es))
+	for i, e := range es {
+		src[i], dst[i] = e.Src, e.Dst
+	}
+	g.InsertBatch(src, dst)
+	snap := g.Snapshot()
+	if snap.NumVertices() != g.NumVertices() || snap.NumEdges() != g.NumEdges() {
+		t.Fatal("snapshot header mismatch")
+	}
+	// Snapshot must agree with the live graph now...
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		want := g.AppendNeighbors(v, nil)
+		got := snap.Neighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d degree mismatch", v)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vertex %d neighbor mismatch", v)
+			}
+		}
+	}
+	// ...and stay frozen after the live graph changes.
+	before := append([]uint32(nil), snap.Neighbors(1)...)
+	edges, degree := snap.NumEdges(), snap.Degree(1)
+	more := gen.Symmetrize(gen.NewRMatPaper(10, 5).Edges(3000))
+	src = src[:0]
+	dst = dst[:0]
+	for _, e := range more {
+		src = append(src, e.Src)
+		dst = append(dst, e.Dst)
+	}
+	g.InsertBatch(src, dst)
+	if snap.NumEdges() != edges || snap.Degree(1) != degree {
+		t.Fatal("snapshot changed after update")
+	}
+	after := snap.Neighbors(1)
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatal("snapshot contents changed after update")
+		}
+	}
+	// Until-iteration stops early.
+	seen := 0
+	snap.ForEachNeighborUntil(1, func(u uint32) bool { seen++; return false })
+	if degree > 0 && seen != 1 {
+		t.Fatalf("Until visited %d", seen)
+	}
+}
+
+func TestDeleteVertex(t *testing.T) {
+	g := New(64, Config{})
+	// Symmetric star around 5 plus a side edge.
+	var src, dst []uint32
+	for _, u := range []uint32{1, 2, 3, 60} {
+		src = append(src, 5, u)
+		dst = append(dst, u, 5)
+	}
+	src = append(src, 1, 2)
+	dst = append(dst, 2, 1)
+	g.InsertBatch(src, dst)
+	g.DeleteVertex(5)
+	if g.Degree(5) != 0 {
+		t.Fatalf("degree(5)=%d", g.Degree(5))
+	}
+	for _, u := range []uint32{1, 2, 3, 60} {
+		if g.Has(u, 5) {
+			t.Fatalf("reverse edge (%d,5) survived", u)
+		}
+	}
+	if !g.Has(1, 2) || !g.Has(2, 1) || g.NumEdges() != 2 {
+		t.Fatalf("side edge lost; m=%d", g.NumEdges())
+	}
+	// Deleting an isolated vertex is a no-op.
+	g.DeleteVertex(5)
+	if g.NumEdges() != 2 {
+		t.Fatal("second DeleteVertex changed the graph")
+	}
+}

@@ -1,0 +1,60 @@
+// Package engine defines the interface every streaming graph engine in this
+// repository implements — LSGraph itself and the three baselines (Terrace,
+// Aspen, PaC-tree). The analytics kernels and the benchmark harness are
+// written against this interface so all four systems run identical code
+// above the storage layer, mirroring how the paper layers Ligra-style
+// primitives over each system.
+package engine
+
+// Graph is the analytics-facing read interface. Neighbor iteration must
+// visit neighbors in ascending vertex-ID order: the paper's analytics
+// (notably triangle counting's set intersections) rely on ordered neighbors.
+type Graph interface {
+	// NumVertices returns the number of vertex slots (IDs are dense
+	// [0, NumVertices)).
+	NumVertices() uint32
+	// NumEdges returns the number of directed edges currently stored.
+	NumEdges() uint64
+	// Degree returns the out-degree of v.
+	Degree(v uint32) uint32
+	// ForEachNeighbor applies f to each out-neighbor of v in ascending
+	// order. It must be safe to call concurrently from multiple goroutines
+	// for distinct or identical v as long as no update is in flight.
+	ForEachNeighbor(v uint32, f func(u uint32))
+}
+
+// Update is the mutation interface. Batches may contain duplicates and
+// edges already present (for insert) or absent (for delete); engines must
+// tolerate both, applying set semantics.
+type Update interface {
+	// InsertBatch adds the directed edges (src[i] -> dst[i]).
+	InsertBatch(src, dst []uint32)
+	// DeleteBatch removes the directed edges.
+	DeleteBatch(src, dst []uint32)
+}
+
+// Engine is a complete streaming graph system.
+type Engine interface {
+	Graph
+	Update
+	// MemoryUsage returns the engine's estimated resident bytes for graph
+	// storage (Table 3).
+	MemoryUsage() uint64
+	// Name identifies the engine in benchmark output.
+	Name() string
+}
+
+// Neighbors collects v's neighbors into a fresh slice. It is a convenience
+// for tests and for analytics that materialize adjacency (the paper's TC).
+func Neighbors(g Graph, v uint32) []uint32 {
+	out := make([]uint32, 0, g.Degree(v))
+	g.ForEachNeighbor(v, func(u uint32) { out = append(out, u) })
+	return out
+}
+
+// AppendNeighbors appends v's neighbors to dst and returns it, reusing
+// dst's capacity. Used by triangle counting to avoid per-vertex allocation.
+func AppendNeighbors(g Graph, v uint32, dst []uint32) []uint32 {
+	g.ForEachNeighbor(v, func(u uint32) { dst = append(dst, u) })
+	return dst
+}

@@ -1,0 +1,96 @@
+package gen
+
+import "math"
+
+// TemporalStream models the arrival pattern of the real-world streaming
+// datasets of Table 4 (mathoverflow, askubuntu, superuser, wiki-talk):
+// interaction graphs where activity is hub-skewed (a Zipf-like popularity
+// distribution over vertices) and the vertex set grows over time, so later
+// edges can touch vertices unseen earlier.
+//
+// The harness uses it the way §6.5 uses the real traces: the first 90% of
+// the stream is bulk-loaded, the remaining 10% is ingested as streamed
+// additions.
+type TemporalStream struct {
+	n     uint32
+	theta float64
+	rng   *RNG
+	// zipfCDF[i] is the cumulative probability of ranks <= i over a sampled
+	// support; sampling a rank then mapping rank -> vertex by arrival order
+	// gives the hub skew.
+	zipfCDF []float64
+}
+
+// NewTemporalStream returns a stream over n vertices with Zipf exponent
+// theta (typical interaction graphs fit theta ~= 1.0-1.3).
+func NewTemporalStream(n uint32, theta float64, seed uint64) *TemporalStream {
+	ts := &TemporalStream{n: n, theta: theta, rng: NewRNG(seed)}
+	// Precompute the CDF over min(n, 4096) head ranks; the tail is sampled
+	// uniformly. This keeps setup O(1)-ish while preserving head skew.
+	head := int(n)
+	if head > 4096 {
+		head = 4096
+	}
+	ts.zipfCDF = make([]float64, head)
+	sum := 0.0
+	for i := 0; i < head; i++ {
+		sum += 1.0 / pow(float64(i+1), theta)
+		ts.zipfCDF[i] = sum
+	}
+	for i := range ts.zipfCDF {
+		ts.zipfCDF[i] /= sum
+	}
+	return ts
+}
+
+func pow(b, e float64) float64 { return math.Pow(b, e) }
+
+// sampleVertex draws a vertex rank with head Zipf skew, then maps the rank
+// onto the vertex space so that low ranks are "old, popular" vertices.
+func (ts *TemporalStream) sampleVertex(limit uint32) uint32 {
+	if limit == 0 {
+		return 0
+	}
+	p := ts.rng.Float64()
+	// 80% of draws come from the Zipf head, 20% uniform over all live
+	// vertices (models long-tail participants).
+	if p < 0.8 && len(ts.zipfCDF) > 0 {
+		q := ts.rng.Float64()
+		lo, hi := 0, len(ts.zipfCDF)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ts.zipfCDF[mid] < q {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		r := uint32(lo)
+		if r >= limit {
+			r = r % limit
+		}
+		return r
+	}
+	return ts.rng.Uint32n(limit)
+}
+
+// Edges produces m edges in arrival order. The live vertex window grows
+// linearly with time so late edges can reference vertices that did not exist
+// early in the stream, as in the Table 4 traces.
+func (ts *TemporalStream) Edges(m int) []Edge {
+	es := make([]Edge, 0, m)
+	for len(es) < m {
+		// Live window: at least 2 vertices, growing to n by the end.
+		live := uint32(uint64(ts.n)*uint64(len(es)+1)/uint64(m)) + 2
+		if live > ts.n {
+			live = ts.n
+		}
+		s := ts.sampleVertex(live)
+		d := ts.sampleVertex(live)
+		if s == d {
+			continue
+		}
+		es = append(es, Edge{Src: s, Dst: d})
+	}
+	return es
+}

@@ -1,0 +1,153 @@
+package incr
+
+import (
+	"testing"
+
+	"lsgraph/internal/algo"
+	"lsgraph/internal/core"
+	"lsgraph/internal/gen"
+)
+
+// loadedCore builds a core engine with symmetrized edges.
+func loadedCore(n uint32, es []gen.Edge) (*core.Graph, []uint32, []uint32) {
+	sym := gen.Symmetrize(es)
+	src := make([]uint32, len(sym))
+	dst := make([]uint32, len(sym))
+	for i, e := range sym {
+		src[i], dst[i] = e.Src, e.Dst
+	}
+	g := core.New(n, core.Config{Workers: 2})
+	g.InsertBatch(src, dst)
+	return g, src, dst
+}
+
+// symBatch returns a symmetrized batch in columnar form.
+func symBatch(es []gen.Edge) (src, dst []uint32) {
+	sym := gen.Symmetrize(es)
+	src = make([]uint32, len(sym))
+	dst = make([]uint32, len(sym))
+	for i, e := range sym {
+		src[i], dst[i] = e.Src, e.Dst
+	}
+	return
+}
+
+func TestIncrementalCCMatchesFullRecompute(t *testing.T) {
+	const n = 512
+	rm := gen.NewRMatPaper(9, 5)
+	g, _, _ := loadedCore(n, rm.Edges(1500))
+	cc := NewCC(g, 2)
+	for round := 0; round < 6; round++ {
+		src, dst := symBatch(rm.Edges(300))
+		g.InsertBatch(src, dst)
+		cc.OnInsert(src, dst)
+		want := algo.CC(g, 2)
+		for v := range want {
+			if cc.Labels()[v] != want[v] {
+				t.Fatalf("round %d: label[%d]=%d want %d", round, v, cc.Labels()[v], want[v])
+			}
+		}
+	}
+	if cc.Recomputes != 0 {
+		t.Fatalf("insert-only run recomputed %d times", cc.Recomputes)
+	}
+}
+
+func TestIncrementalCCMergesComponents(t *testing.T) {
+	g := core.New(64, core.Config{})
+	// Two chains: 0-1-2 and 10-11-12.
+	src, dst := symBatch([]gen.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 10, Dst: 11}, {Src: 11, Dst: 12}})
+	g.InsertBatch(src, dst)
+	cc := NewCC(g, 1)
+	if cc.Same(0, 12) {
+		t.Fatal("components should start separate")
+	}
+	link, linkDst := symBatch([]gen.Edge{{Src: 2, Dst: 10}})
+	g.InsertBatch(link, linkDst)
+	cc.OnInsert(link, linkDst)
+	if !cc.Same(0, 12) || cc.Labels()[12] != 0 {
+		t.Fatalf("merge failed: labels %v", cc.Labels()[:13])
+	}
+}
+
+func TestIncrementalCCDeleteFallsBack(t *testing.T) {
+	g := core.New(8, core.Config{})
+	src, dst := symBatch([]gen.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	g.InsertBatch(src, dst)
+	cc := NewCC(g, 1)
+	cut, cutDst := symBatch([]gen.Edge{{Src: 1, Dst: 2}})
+	g.DeleteBatch(cut, cutDst)
+	cc.OnDelete(cut, cutDst)
+	if cc.Recomputes != 1 {
+		t.Fatalf("expected one recompute, got %d", cc.Recomputes)
+	}
+	if cc.Same(0, 2) {
+		t.Fatal("split not detected")
+	}
+}
+
+func TestIncrementalBFSMatchesFullRecompute(t *testing.T) {
+	const n = 512
+	rm := gen.NewRMatPaper(9, 8)
+	g, _, _ := loadedCore(n, rm.Edges(1500))
+	b := NewBFS(g, 0, 2)
+	for round := 0; round < 6; round++ {
+		src, dst := symBatch(rm.Edges(300))
+		g.InsertBatch(src, dst)
+		b.OnInsert(src, dst)
+		want := algo.BFSLevels(g, 0, 2)
+		for v := range want {
+			if b.Depths()[v] != want[v] {
+				t.Fatalf("round %d: depth[%d]=%d want %d", round, v, b.Depths()[v], want[v])
+			}
+		}
+	}
+	if b.Recomputes != 0 {
+		t.Fatalf("insert-only run recomputed %d times", b.Recomputes)
+	}
+}
+
+func TestIncrementalBFSShortcut(t *testing.T) {
+	g := core.New(16, core.Config{})
+	// Path 0-1-2-3-4.
+	src, dst := symBatch([]gen.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}})
+	g.InsertBatch(src, dst)
+	b := NewBFS(g, 0, 1)
+	if b.Depths()[4] != 4 {
+		t.Fatalf("depth[4]=%d", b.Depths()[4])
+	}
+	// Shortcut 0-4.
+	s2, d2 := symBatch([]gen.Edge{{Src: 0, Dst: 4}})
+	g.InsertBatch(s2, d2)
+	b.OnInsert(s2, d2)
+	if b.Depths()[4] != 1 || b.Depths()[3] != 2 {
+		t.Fatalf("shortcut not propagated: %v", b.Depths()[:5])
+	}
+}
+
+func TestIncrementalBFSDeletePolicies(t *testing.T) {
+	g := core.New(16, core.Config{})
+	src, dst := symBatch([]gen.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}, {Src: 5, Dst: 6}})
+	g.InsertBatch(src, dst)
+	b := NewBFS(g, 0, 1)
+	// Deleting an edge between two unreached vertices must not recompute.
+	s2, d2 := symBatch([]gen.Edge{{Src: 5, Dst: 6}})
+	g.DeleteBatch(s2, d2)
+	b.OnDelete(s2, d2)
+	if b.Recomputes != 0 {
+		t.Fatal("irrelevant delete triggered recompute")
+	}
+	// Deleting a potential tree edge must recompute and stay correct.
+	s3, d3 := symBatch([]gen.Edge{{Src: 0, Dst: 1}})
+	g.DeleteBatch(s3, d3)
+	b.OnDelete(s3, d3)
+	if b.Recomputes != 1 {
+		t.Fatalf("recomputes=%d", b.Recomputes)
+	}
+	want := algo.BFSLevels(g, 0, 1)
+	for v := range want {
+		if b.Depths()[v] != want[v] {
+			t.Fatalf("depth[%d]=%d want %d", v, b.Depths()[v], want[v])
+		}
+	}
+}

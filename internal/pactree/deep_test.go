@@ -1,0 +1,104 @@
+package pactree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInternalSplitPropagation inserts sequentially until internal nodes
+// must split (past 2×fanout children), then validates structure.
+func TestInternalSplitPropagation(t *testing.T) {
+	var root *pnode
+	// Enough keys to force several levels: > 2*fanout*2*leafTarget.
+	n := 2*fanout*2*leafTarget + 5000
+	for i := 0; i < n; i++ {
+		var ok bool
+		root, ok = insertNode(root, uint32(i))
+		if !ok {
+			t.Fatalf("insert %d reported duplicate", i)
+		}
+	}
+	checkNode(t, root)
+	if sizeOf(root) != n {
+		t.Fatalf("size %d want %d", sizeOf(root), n)
+	}
+	// Depth must be logarithmic-ish: an 8-ary tree of ~9k elements should
+	// be shallow.
+	depth := 0
+	for x := root; x != nil && !x.leaf(); x = x.children[0] {
+		depth++
+	}
+	if depth > 8 {
+		t.Fatalf("tree too deep: %d", depth)
+	}
+}
+
+// TestDeleteCollapsesPath removes whole key ranges so leaves empty out and
+// internal nodes lose children.
+func TestDeleteCollapsesPath(t *testing.T) {
+	ns := make([]uint32, 4096)
+	for i := range ns {
+		ns[i] = uint32(i)
+	}
+	root := buildTree(ns)
+	rng := rand.New(rand.NewSource(4))
+	for _, pi := range rng.Perm(len(ns)) {
+		var ok bool
+		root, ok = removeNode(root, uint32(pi))
+		if !ok {
+			t.Fatalf("remove(%d) failed", pi)
+		}
+	}
+	if root != nil {
+		t.Fatalf("root not nil after removing all: size=%d", sizeOf(root))
+	}
+}
+
+// TestDeleteFrontAndBack exercises separator bookkeeping when first and
+// last children drain.
+func TestDeleteFrontAndBack(t *testing.T) {
+	ns := make([]uint32, 2048)
+	for i := range ns {
+		ns[i] = uint32(i * 2)
+	}
+	root := buildTree(ns)
+	// Drain the lowest quarter, then the highest quarter.
+	for i := 0; i < 512; i++ {
+		root, _ = removeNode(root, uint32(i*2))
+	}
+	for i := 1536; i < 2048; i++ {
+		root, _ = removeNode(root, uint32(i*2))
+	}
+	checkNode(t, root)
+	if sizeOf(root) != 1024 {
+		t.Fatalf("size %d", sizeOf(root))
+	}
+	for i := 512; i < 1536; i++ {
+		if !containsNode(root, uint32(i*2)) {
+			t.Fatalf("lost %d", i*2)
+		}
+	}
+}
+
+func TestGraphBulkDeletePath(t *testing.T) {
+	g := New(64, 1)
+	var src, dst []uint32
+	for u := uint32(0); u < 60; u++ {
+		if u == 7 {
+			continue
+		}
+		src = append(src, 7)
+		dst = append(dst, u)
+	}
+	g.InsertBatch(src, dst)
+	// Bulk-delete more than half so applyGroupBulk's subtract path runs.
+	g.DeleteBatch(src[:40], dst[:40])
+	if g.Degree(7) != uint32(len(src)-40) {
+		t.Fatalf("degree %d", g.Degree(7))
+	}
+	for i := 40; i < len(src); i++ {
+		if !g.Has(7, dst[i]) {
+			t.Fatalf("lost edge to %d", dst[i])
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package parallel provides the fork-join primitives LSGraph uses in place
+// of the paper's OpenCilk runtime: chunked parallel-for over index ranges,
+// a bounded worker pool, and a parallel sort for packed edge keys.
+//
+// All primitives degrade to sequential execution when the requested
+// parallelism is 1, which the benchmark harness uses for the single-thread
+// analyses of Figure 4 and the scalability sweep of Figure 17.
+package parallel
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Procs is the default parallelism used by For and Sort when the caller
+// passes p <= 0. It is initialized to runtime.GOMAXPROCS(0) and may be
+// overridden for experiments.
+var Procs = runtime.GOMAXPROCS(0)
+
+// grainSize is the minimum number of iterations a worker claims at a time.
+// Small enough to balance power-law skew, large enough to amortize the
+// atomic fetch-add.
+const grainSize = 64
+
+// For runs f(i) for every i in [0, n) using p workers (p <= 0 means
+// parallel.Procs). Iterations are claimed in dynamically scheduled chunks so
+// that skewed per-iteration costs (high-degree vertices) stay balanced.
+func For(n, p int, f func(i int)) {
+	ForChunk(n, p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// ForChunk runs f(lo, hi) over disjoint chunks covering [0, n) using p
+// workers. It is the loop primitive used by hot inner loops that want to
+// hoist per-chunk state out of the iteration body.
+func ForChunk(n, p int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p <= 0 {
+		p = Procs
+	}
+	if p > n/grainSize {
+		p = n/grainSize + 1
+	}
+	if p <= 1 {
+		f(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(grainSize)) - grainSize
+				if lo >= n {
+					return
+				}
+				hi := lo + grainSize
+				if hi > n {
+					hi = n
+				}
+				f(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForBlocked runs f(b) for each of nb statically assigned blocks, one
+// goroutine per worker, blocks distributed round-robin. Unlike For it
+// guarantees that block b is processed by worker b%p, which the batch
+// updater uses to pin all updates of one vertex to one worker.
+func ForBlocked(nb, p int, f func(b int)) {
+	if nb <= 0 {
+		return
+	}
+	if p <= 0 {
+		p = Procs
+	}
+	if p > nb {
+		p = nb
+	}
+	if p <= 1 {
+		for b := 0; b < nb; b++ {
+			f(b)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for b := w; b < nb; b += p {
+				f(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run executes the given thunks concurrently and waits for all of them.
+func Run(fs ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fs))
+	for _, f := range fs {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+// SortUint64 sorts ks ascending. Large inputs use an LSD radix sort
+// (every engine's batch updater sorts packed (src,dst) keys, so this is on
+// the critical path of every update figure); small inputs use the stdlib
+// comparison sort. The p parameter is accepted for call-site symmetry with
+// the other primitives; the radix passes are sequential (they are already
+// bandwidth-bound).
+func SortUint64(ks []uint64, p int) {
+	_ = p
+	if len(ks) >= 1<<12 {
+		radixSortUint64(ks)
+		return
+	}
+	sortUint64Seq(ks)
+}
+
+func sortUint64Seq(ks []uint64) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+}
+
+// radixSortUint64 is an 8-bit LSD radix sort, skipping passes whose byte is
+// constant across the input (common: high source-ID bytes are zero).
+func radixSortUint64(ks []uint64) {
+	buf := make([]uint64, len(ks))
+	src, dst := ks, buf
+	for shift := uint(0); shift < 64; shift += 8 {
+		var counts [256]int
+		for _, k := range src {
+			counts[k>>shift&0xff]++
+		}
+		if counts[src[0]>>shift&0xff] == len(src) {
+			continue // every key shares this byte
+		}
+		pos := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = pos
+			pos += c
+		}
+		for _, k := range src {
+			b := k >> shift & 0xff
+			dst[counts[b]] = k
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ks[0] {
+		copy(ks, src)
+	}
+}

@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 1000, 100000} {
+		seen := make([]int32, n)
+		For(n, 0, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForSequentialFallback(t *testing.T) {
+	// p=1 must run in order on the caller's goroutine.
+	var got []int
+	For(100, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("p=1 out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestForChunkDisjoint(t *testing.T) {
+	n := 12345
+	seen := make([]int32, n)
+	ForChunk(n, 4, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForBlockedPinsWorker(t *testing.T) {
+	nb := 100
+	seen := make([]int32, nb)
+	ForBlocked(nb, 3, func(b int) { atomic.AddInt32(&seen[b], 1) })
+	for b, c := range seen {
+		if c != 1 {
+			t.Fatalf("block %d visited %d times", b, c)
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	var a, b atomic.Int32
+	Run(func() { a.Store(1) }, func() { b.Store(2) })
+	if a.Load() != 1 || b.Load() != 2 {
+		t.Fatal("Run did not execute all thunks")
+	}
+}
+
+func TestSortUint64Small(t *testing.T) {
+	ks := []uint64{5, 3, 3, 1, 9, 0}
+	SortUint64(ks, 4)
+	if !sort.SliceIsSorted(ks, func(i, j int) bool { return ks[i] < ks[j] }) {
+		t.Fatalf("not sorted: %v", ks)
+	}
+}
+
+func TestSortUint64Large(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1 << 13, 1<<15 + 17, 1 << 16} {
+		ks := make([]uint64, n)
+		for i := range ks {
+			ks[i] = rng.Uint64()
+		}
+		want := append([]uint64(nil), ks...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		SortUint64(ks, 8)
+		for i := range ks {
+			if ks[i] != want[i] {
+				t.Fatalf("n=%d mismatch at %d: got %d want %d", n, i, ks[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSortUint64Quick(t *testing.T) {
+	f := func(ks []uint64) bool {
+		SortUint64(ks, 4)
+		return sort.SliceIsSorted(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

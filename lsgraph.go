@@ -1,0 +1,150 @@
+// Package lsgraph is a locality-centric streaming graph engine, a Go
+// implementation of the system described in "LSGraph: A Locality-centric
+// High-performance Streaming Graph Engine" (EuroSys '24).
+//
+// A Graph stores a directed graph over dense vertex IDs and supports
+// alternating phases of batched edge updates and parallel analytics. Each
+// vertex's neighbors live in a structure chosen by degree — a cache-line
+// vertex block inline, then a sorted array, then a Redundant Indexed Array
+// (blocked gapped array with a first-element index), then a Hybrid Indexed
+// Tree mixing learned-index internal nodes with RIA leaves — which keeps
+// neighbor sets ordered and contiguous for analytics while bounding the
+// data movement updates pay.
+//
+// Quick start:
+//
+//	g := lsgraph.New(numVertices)
+//	g.InsertEdges(edges)                  // batched, parallel
+//	dist := lsgraph.BFS(g, source)        // analytics on the new snapshot
+//	g.DeleteEdges(stale)
+package lsgraph
+
+import (
+	"lsgraph/internal/core"
+	"lsgraph/internal/engine"
+)
+
+// Edge is a directed edge from Src to Dst. Store both directions for an
+// undirected graph, as the paper does with symmetrized inputs.
+type Edge struct {
+	Src, Dst uint32
+}
+
+// Option configures a Graph at construction.
+type Option func(*core.Config)
+
+// WithAlpha sets the space amplification factor α (default 1.2): gapped
+// structures reserve α× their element count, trading memory and scan cost
+// for cheaper inserts (§6.5, Figures 14-15).
+func WithAlpha(alpha float64) Option {
+	return func(c *core.Config) { c.Alpha = alpha }
+}
+
+// WithM sets the RIA→HITree degree threshold M (default 4096; §6.5).
+func WithM(m int) Option {
+	return func(c *core.Config) { c.M = m }
+}
+
+// WithWorkers bounds the parallelism of batch updates (default GOMAXPROCS).
+func WithWorkers(w int) Option {
+	return func(c *core.Config) { c.Workers = w }
+}
+
+// Graph is the LSGraph engine. Updates must not run concurrently with
+// reads; the intended usage is the streaming model's alternation of update
+// batches and analytics passes.
+type Graph struct {
+	g *core.Graph
+}
+
+// New returns an empty graph with n vertex slots.
+func New(n uint32, opts ...Option) *Graph {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Graph{g: core.New(n, cfg)}
+}
+
+// NewFromEdges returns a graph with n vertex slots preloaded with es.
+func NewFromEdges(n uint32, es []Edge, opts ...Option) *Graph {
+	g := New(n, opts...)
+	g.InsertEdges(es)
+	return g
+}
+
+// NumVertices returns the number of vertex slots.
+func (g *Graph) NumVertices() uint32 { return g.g.NumVertices() }
+
+// EnsureVertices grows the vertex space to at least n slots, for streams
+// whose vertex set grows over time. Like updates, it must not run
+// concurrently with reads.
+func (g *Graph) EnsureVertices(n uint32) { g.g.EnsureVertices(n) }
+
+// NumEdges returns the number of directed edges stored.
+func (g *Graph) NumEdges() uint64 { return g.g.NumEdges() }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v uint32) uint32 { return g.g.Degree(v) }
+
+// Has reports whether edge (v, u) is present.
+func (g *Graph) Has(v, u uint32) bool { return g.g.Has(v, u) }
+
+// InsertEdges applies a batch of edge insertions in parallel. Duplicates
+// within the batch and edges already present are ignored.
+func (g *Graph) InsertEdges(es []Edge) {
+	src, dst := split(es)
+	g.g.InsertBatch(src, dst)
+}
+
+// DeleteEdges applies a batch of edge deletions in parallel. Edges not
+// present are ignored.
+func (g *Graph) DeleteEdges(es []Edge) {
+	src, dst := split(es)
+	g.g.DeleteBatch(src, dst)
+}
+
+// InsertBatch is the columnar variant of InsertEdges.
+func (g *Graph) InsertBatch(src, dst []uint32) { g.g.InsertBatch(src, dst) }
+
+// DeleteBatch is the columnar variant of DeleteEdges.
+func (g *Graph) DeleteBatch(src, dst []uint32) { g.g.DeleteBatch(src, dst) }
+
+// ForEachNeighbor applies f to v's out-neighbors in ascending ID order.
+// It is safe to call concurrently with other reads.
+func (g *Graph) ForEachNeighbor(v uint32, f func(u uint32)) {
+	g.g.ForEachNeighbor(v, f)
+}
+
+// Neighbors returns v's out-neighbors in ascending order as a new slice.
+func (g *Graph) Neighbors(v uint32) []uint32 {
+	return g.g.AppendNeighbors(v, make([]uint32, 0, g.g.Degree(v)))
+}
+
+// DeleteVertex removes every edge incident to v on a symmetrized graph
+// (v's adjacency plus the reverse edges held by its neighbors).
+func (g *Graph) DeleteVertex(v uint32) { g.g.DeleteVertex(v) }
+
+// Snapshot returns an immutable CSR view of the current graph that
+// implements the same read interface; analytics may run on the snapshot
+// concurrently with further updates to g.
+func (g *Graph) Snapshot() *core.Snapshot { return g.g.Snapshot() }
+
+// MemoryUsage returns the engine's estimated resident bytes.
+func (g *Graph) MemoryUsage() uint64 { return g.g.MemoryUsage() }
+
+// IndexMemory returns the bytes spent on RIA index arrays and LIA models.
+func (g *Graph) IndexMemory() uint64 { return g.g.IndexMemory() }
+
+// Engine exposes the graph through the engine-neutral interface shared
+// with the baseline systems, for code written against engine.Engine.
+func (g *Graph) Engine() engine.Engine { return g.g }
+
+func split(es []Edge) (src, dst []uint32) {
+	src = make([]uint32, len(es))
+	dst = make([]uint32, len(es))
+	for i, e := range es {
+		src[i], dst[i] = e.Src, e.Dst
+	}
+	return src, dst
+}
