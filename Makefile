@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race verify bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with real cross-goroutine traffic:
+# the batch pipeline, the worker pool, and the sharded metrics registry.
+race:
+	$(GO) test -race lsgraph/internal/core lsgraph/internal/parallel lsgraph/internal/obs
+
+verify:
+	sh scripts/verify.sh
+
+# Overhead check for the observability hooks (compare disabled vs enabled).
+bench-obs:
+	$(GO) test -run xxx -bench ObsOverhead -count 3 ./internal/core
+
+clean:
+	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"lsgraph/internal/bench"
+	"lsgraph/internal/obs"
 )
 
 func main() {
@@ -31,8 +32,21 @@ func main() {
 		batches = flag.String("batches", "", "comma-separated batch sizes (default per scale)")
 		quick   = flag.Bool("quick", false, "use the quick scale preset")
 		list    = flag.Bool("list", false, "list experiment names and exit")
+		metrics = flag.String("metrics", "", "serve Prometheus /metrics, /metrics.json and /debug/pprof on this address while experiments run; implies metric collection")
+		obsDump = flag.Bool("obsdump", false, "enable metric collection and print a JSON metrics snapshot on exit")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		go func() {
+			if err := obs.Serve(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "lsbench: metrics server:", err)
+			}
+		}()
+	}
+	if *obsDump {
+		obs.SetEnabled(true)
+	}
 
 	if *list {
 		for _, name := range bench.Experiments {
@@ -73,5 +87,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lsbench:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *obsDump {
+		b, err := obs.SnapshotJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot:\n%s\n", b)
 	}
 }

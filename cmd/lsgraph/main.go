@@ -12,15 +12,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
 	"lsgraph"
 	"lsgraph/internal/gen"
 	"lsgraph/internal/graphio"
+	"lsgraph/internal/obs"
 )
 
 func main() {
@@ -38,8 +42,38 @@ func main() {
 		algos   = flag.String("algos", "bfs,pr,cc", "comma-separated: bfs,bc,pr,cc,tc")
 		alpha   = flag.Float64("alpha", 1.2, "space amplification factor")
 		mFlag   = flag.Int("m", 4096, "RIA-to-HITree threshold")
+		metrics = flag.String("metrics", "", "serve Prometheus /metrics, /metrics.json and /debug/pprof on this address (e.g. :6060); implies metric collection")
+		obsDump = flag.Bool("obsdump", false, "enable metric collection and print a JSON metrics snapshot on exit")
+		traceF  = flag.String("trace", "", "write a runtime/trace of the whole run to this file (view with 'go tool trace')")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		go func() {
+			if err := obs.Serve(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "lsgraph: metrics server:", err)
+			}
+		}()
+	}
+	if *obsDump {
+		obs.SetEnabled(true)
+	}
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsgraph:", err)
+			os.Exit(1)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lsgraph:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+			fmt.Printf("trace written to %s (inspect with: go tool trace %s)\n", *traceF, *traceF)
+		}()
+	}
 
 	var es []gen.Edge
 	switch {
@@ -94,16 +128,19 @@ func main() {
 
 	t0 := time.Now()
 	g := lsgraph.New(n, lsgraph.WithAlpha(*alpha), lsgraph.WithM(*mFlag))
-	g.InsertEdges(pub)
+	phase("load", func() { g.InsertEdges(pub) })
+	loadDur := time.Since(t0)
 	fmt.Printf("loaded  %d vertices, %d directed edges in %v (%.3g edges/s)\n",
-		g.NumVertices(), g.NumEdges(), time.Since(t0).Round(time.Millisecond),
-		float64(g.NumEdges())/time.Since(t0).Seconds())
+		g.NumVertices(), g.NumEdges(), loadDur.Round(time.Millisecond),
+		float64(g.NumEdges())/loadDur.Seconds())
 	fmt.Printf("memory  %.1f MB (index overhead %.2f%%)\n",
 		float64(g.MemoryUsage())/(1<<20),
 		100*float64(g.IndexMemory())/float64(g.MemoryUsage()))
 
 	// Streamed update rounds: insert a fresh batch, run analytics, delete
-	// it again — the alternation of §1.
+	// it again — the alternation of §1. Each phase runs under a pprof label
+	// and a trace region, so CPU profiles split by phase and 'go tool
+	// trace' shows the alternating update/analytics phases by name.
 	rm := gen.NewRMatPaper(log2(n), *seed+1)
 	for r := 0; r < *rounds; r++ {
 		ub := rm.Edges(*batch)
@@ -112,14 +149,23 @@ func main() {
 			pubB[i] = lsgraph.Edge{Src: e.Src, Dst: e.Dst}
 		}
 		t1 := time.Now()
-		g.InsertEdges(pubB)
+		phase("update-insert", func() { g.InsertEdges(pubB) })
 		ins := time.Since(t1)
-		runAlgos(g, *algos)
+		phase("analytics", func() { runAlgos(g, *algos) })
 		t2 := time.Now()
-		g.DeleteEdges(pubB)
+		phase("update-delete", func() { g.DeleteEdges(pubB) })
 		fmt.Printf("round %d: insert %d in %v (%.3g e/s), delete in %v\n",
 			r, *batch, ins.Round(time.Microsecond),
 			float64(*batch)/ins.Seconds(), time.Since(t2).Round(time.Microsecond))
+	}
+
+	if *obsDump {
+		b, err := obs.SnapshotJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsgraph:", err)
+		} else {
+			fmt.Printf("metrics snapshot:\n%s\n", b)
+		}
 	}
 
 	if *saveBin != "" {
@@ -176,6 +222,17 @@ func runAlgos(g *lsgraph.Graph, list string) {
 			fmt.Printf("  unknown algorithm %q\n", a)
 		}
 	}
+}
+
+// phase runs f under a pprof label and a runtime/trace region named after
+// the streaming phase, so profiles and traces attribute work to the
+// update/analytics alternation. Goroutines spawned inside inherit the
+// label.
+func phase(name string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(ctx context.Context) {
+		defer trace.StartRegion(ctx, "phase:"+name).End()
+		f()
+	})
 }
 
 func log2(n uint32) uint {

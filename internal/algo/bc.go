@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"lsgraph/internal/engine"
+	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -14,6 +15,8 @@ import (
 // paths, then a backward dependency-accumulation sweep over the BFS levels.
 // It returns the dependency score of every vertex.
 func BC(g engine.Graph, src uint32, p int) []float64 {
+	t := obs.StartTimer()
+	var traversed uint64
 	n := int(g.NumVertices())
 	depth := make([]int32, n)
 	for i := range depth {
@@ -29,6 +32,9 @@ func BC(g engine.Graph, src uint32, p int) []float64 {
 	level := int32(0)
 	for len(frontier) > 0 {
 		levels = append(levels, frontier)
+		if !t.IsZero() {
+			traversed += frontierDegreeSum(g, frontier)
+		}
 		for i := range next {
 			next[i] = false
 		}
@@ -77,5 +83,7 @@ func BC(g engine.Graph, src uint32, p int) []float64 {
 			delta[i] = 0
 		}
 	}
+	// The backward sweep revisits the forward levels' adjacency once more.
+	obsBC.done(t, 2*traversed)
 	return delta
 }

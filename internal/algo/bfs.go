@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"lsgraph/internal/engine"
+	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -25,6 +26,8 @@ const NoParent = int32(-1)
 // search from src using p workers (p <= 0 means GOMAXPROCS) and returns the
 // parent array, NoParent for unreached vertices (src is its own parent).
 func BFS(g engine.Graph, src uint32, p int) []int32 {
+	t := obs.StartTimer()
+	var traversed uint64
 	n := int(g.NumVertices())
 	parent := make([]int32, n)
 	for i := range parent {
@@ -43,6 +46,7 @@ func BFS(g engine.Graph, src uint32, p int) []int32 {
 		for _, v := range frontier {
 			frontierEdges += uint64(g.Degree(v))
 		}
+		traversed += frontierEdges
 		for i := range next {
 			next[i] = false
 		}
@@ -64,6 +68,7 @@ func BFS(g engine.Graph, src uint32, p int) []int32 {
 			}
 		}
 	}
+	obsBFS.done(t, traversed)
 	return parent
 }
 
@@ -115,6 +120,8 @@ type untilGraph interface {
 // BFSLevels returns the depth of each vertex from src (-1 if unreached),
 // derived from a BFS parent array walk; used by tests and BC.
 func BFSLevels(g engine.Graph, src uint32, p int) []int32 {
+	t := obs.StartTimer()
+	var traversed uint64
 	n := int(g.NumVertices())
 	depth := make([]int32, n)
 	for i := range depth {
@@ -125,6 +132,9 @@ func BFSLevels(g engine.Graph, src uint32, p int) []int32 {
 	level := int32(0)
 	next := make([]bool, n)
 	for len(frontier) > 0 {
+		if !t.IsZero() {
+			traversed += frontierDegreeSum(g, frontier)
+		}
 		for i := range next {
 			next[i] = false
 		}
@@ -143,5 +153,6 @@ func BFSLevels(g engine.Graph, src uint32, p int) []int32 {
 			}
 		}
 	}
+	obsBFSLvl.done(t, traversed)
 	return depth
 }

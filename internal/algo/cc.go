@@ -6,6 +6,7 @@ import (
 	"unsafe"
 
 	"lsgraph/internal/engine"
+	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -42,6 +43,8 @@ func atomicMinUint32(addr *uint32, v uint32) bool {
 // component label of each vertex (the minimum vertex ID in the component,
 // for symmetrized inputs).
 func CC(g engine.Graph, p int) []uint32 {
+	t := obs.StartTimer()
+	var traversed uint64
 	n := int(g.NumVertices())
 	comp := make([]uint32, n)
 	frontier := make([]uint32, n)
@@ -51,6 +54,9 @@ func CC(g engine.Graph, p int) []uint32 {
 	}
 	changed := make([]bool, n)
 	for len(frontier) > 0 {
+		if !t.IsZero() {
+			traversed += frontierDegreeSum(g, frontier)
+		}
 		for i := range changed {
 			changed[i] = false
 		}
@@ -70,5 +76,6 @@ func CC(g engine.Graph, p int) []uint32 {
 			}
 		}
 	}
+	obsCC.done(t, traversed)
 	return comp
 }

@@ -2,6 +2,7 @@ package algo
 
 import (
 	"lsgraph/internal/engine"
+	"lsgraph/internal/obs"
 )
 
 // KCore computes the core number of every vertex of a symmetrized graph:
@@ -12,6 +13,7 @@ import (
 // neighbor-list traversal, so it benefits from the same locality the
 // paper's §6.3 measures.
 func KCore(g engine.Graph, p int) []uint32 {
+	t := obs.StartTimer()
 	n := int(g.NumVertices())
 	deg := make([]uint32, n)
 	maxDeg := uint32(0)
@@ -61,6 +63,8 @@ func KCore(g engine.Graph, p int) []uint32 {
 			deg[u]--
 		})
 	}
+	// Peeling visits every vertex's adjacency exactly once.
+	obsKCore.done(t, g.NumEdges())
 	return core
 }
 

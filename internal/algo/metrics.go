@@ -1,0 +1,55 @@
+package algo
+
+import (
+	"time"
+
+	"lsgraph/internal/obs"
+)
+
+// kernelObs bundles one kernel's wall-time histogram and traversed-edge
+// counter. Kernels call obs.StartTimer at entry and done at exit; both are
+// near-free when collection is disabled (zero start time short-circuits).
+type kernelObs struct {
+	nanos *obs.Histogram
+	edges *obs.Counter
+}
+
+func newKernelObs(kernel string) kernelObs {
+	l := `kernel="` + kernel + `"`
+	return kernelObs{
+		nanos: obs.NewHistogram("lsgraph_algo_nanos", l, "ns", "wall time per kernel run"),
+		edges: obs.NewCounter("lsgraph_algo_traversed_edges_total", l,
+			"edges traversed per kernel (frontier-degree or iteration estimates)"),
+	}
+}
+
+var (
+	obsBFS    = newKernelObs("bfs")
+	obsBFSLvl = newKernelObs("bfs_levels")
+	obsBC     = newKernelObs("bc")
+	obsPR     = newKernelObs("pagerank")
+	obsCC     = newKernelObs("cc")
+	obsTC     = newKernelObs("tc")
+	obsKCore  = newKernelObs("kcore")
+)
+
+// done records one finished kernel run started at start (ignored when start
+// is zero, i.e. collection was disabled at kernel entry).
+func (k kernelObs) done(start time.Time, edges uint64) {
+	if start.IsZero() {
+		return
+	}
+	k.nanos.ObserveSince(start)
+	k.edges.Add(edges)
+}
+
+// frontierDegreeSum totals the degrees of a frontier, the per-round
+// traversed-edge estimate used by the frontier-synchronous kernels. Callers
+// gate it on an active timer so the disabled path pays nothing.
+func frontierDegreeSum(g interface{ Degree(uint32) uint32 }, frontier []uint32) uint64 {
+	var s uint64
+	for _, v := range frontier {
+		s += uint64(g.Degree(v))
+	}
+	return s
+}

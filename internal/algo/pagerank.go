@@ -2,6 +2,7 @@ package algo
 
 import (
 	"lsgraph/internal/engine"
+	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -17,6 +18,7 @@ func PageRank(g engine.Graph, iters, p int) []float64 {
 	if iters <= 0 {
 		iters = 10
 	}
+	t := obs.StartTimer()
 	n := int(g.NumVertices())
 	if n == 0 {
 		return nil
@@ -60,5 +62,7 @@ func PageRank(g engine.Graph, iters, p int) []float64 {
 		})
 		rank, next = next, rank
 	}
+	// Pull-style iterations read every edge exactly once per iteration.
+	obsPR.done(t, uint64(iters)*g.NumEdges())
 	return rank
 }

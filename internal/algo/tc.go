@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lsgraph/internal/engine"
+	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -21,6 +22,7 @@ type TCResult struct {
 // structure once to store neighbors in flat arrays (CSR), then count by
 // sorted-array intersections, each triangle (v < u < w) exactly once.
 func TriangleCount(g engine.Graph, p int) TCResult {
+	t := obs.StartTimer()
 	start := time.Now()
 	offs, adj := Materialize(g, p)
 	traversal := time.Since(start)
@@ -41,6 +43,8 @@ func TriangleCount(g engine.Graph, p int) TCResult {
 		}
 		total.Add(local)
 	})
+	// The materialization pass reads each stored edge exactly once.
+	obsTC.done(t, uint64(len(adj)))
 	return TCResult{
 		Triangles: total.Load(),
 		Traversal: traversal,

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/trace"
 	"sync/atomic"
 
+	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -19,6 +22,7 @@ type group struct {
 // assign each vertex's group to exactly one worker, which removes locking
 // and keeps one vertex's structures hot in one core's cache.
 func (g *Graph) prepareBatch(src, dst []uint32) ([]uint64, []group) {
+	tSort := obs.StartTimer()
 	n := uint32(len(g.verts))
 	ks := make([]uint64, len(src))
 	for i := range src {
@@ -29,6 +33,8 @@ func (g *Graph) prepareBatch(src, dst []uint32) ([]uint64, []group) {
 		ks[i] = uint64(src[i])<<32 | uint64(dst[i])
 	}
 	parallel.SortUint64(ks, g.cfg.Workers)
+	obsPhaseSort.ObserveSince(tSort)
+	tGroup := obs.StartTimer()
 	// Dedup in place.
 	w := 0
 	for i, k := range ks {
@@ -49,6 +55,7 @@ func (g *Graph) prepareBatch(src, dst []uint32) ([]uint64, []group) {
 		groups = append(groups, group{v: v, lo: i, hi: j})
 		i = j
 	}
+	obsPhaseGroup.ObserveSince(tGroup)
 	return ks, groups
 }
 
@@ -75,14 +82,23 @@ func (g *Graph) InsertBatch(src, dst []uint32) {
 	if len(src) == 0 {
 		return
 	}
+	defer trace.StartRegion(context.Background(), "lsgraph.InsertBatch").End()
 	ks, groups := g.prepareBatch(src, dst)
+	on := obs.Enabled()
+	tApply := obs.StartTimer()
 	var added atomic.Uint64
-	parallel.ForBlocked(len(groups), g.cfg.Workers, func(gi int) {
+	parallel.ForBlockedW(len(groups), g.cfg.Workers, func(w, gi int) {
 		gr := groups[gi]
 		n := uint64(0)
 		if !g.cfg.NoBulkRebuild && bulkThreshold(gr.hi-gr.lo, g.verts[gr.v].deg) {
+			if on {
+				obsGroupsBulk.AddShard(w, 1)
+			}
 			n = g.insertGroupBulk(gr, ks)
 		} else {
+			if on {
+				obsGroupsEdge.AddShard(w, 1)
+			}
 			for i := gr.lo; i < gr.hi; i++ {
 				if g.insertOne(gr.v, uint32(ks[i])) {
 					n++
@@ -94,6 +110,12 @@ func (g *Graph) InsertBatch(src, dst []uint32) {
 		}
 	})
 	g.m.Add(added.Load())
+	obsPhaseApply.ObserveSince(tApply)
+	if on {
+		obsBatchesIns.Inc()
+		obsUpdatesIns.Add(uint64(len(src)))
+		obsEdgesAdded.Add(added.Load())
+	}
 }
 
 // insertGroupBulk merges a vertex's existing neighbors with its update
@@ -140,14 +162,23 @@ func (g *Graph) DeleteBatch(src, dst []uint32) {
 	if len(src) == 0 {
 		return
 	}
+	defer trace.StartRegion(context.Background(), "lsgraph.DeleteBatch").End()
 	ks, groups := g.prepareBatch(src, dst)
+	on := obs.Enabled()
+	tApply := obs.StartTimer()
 	var removed atomic.Uint64
-	parallel.ForBlocked(len(groups), g.cfg.Workers, func(gi int) {
+	parallel.ForBlockedW(len(groups), g.cfg.Workers, func(w, gi int) {
 		gr := groups[gi]
 		n := uint64(0)
 		if !g.cfg.NoBulkRebuild && deleteBulkThreshold(gr.hi-gr.lo, g.verts[gr.v].deg) {
+			if on {
+				obsGroupsBulk.AddShard(w, 1)
+			}
 			n = g.deleteGroupBulk(gr, ks)
 		} else {
+			if on {
+				obsGroupsEdge.AddShard(w, 1)
+			}
 			for i := gr.lo; i < gr.hi; i++ {
 				if g.deleteOne(gr.v, uint32(ks[i])) {
 					n++
@@ -158,7 +189,13 @@ func (g *Graph) DeleteBatch(src, dst []uint32) {
 			removed.Add(n)
 		}
 	})
-	g.m.Add(^(removed.Load() - 1)) // atomic subtract
+	g.subEdges(removed.Load())
+	obsPhaseApply.ObserveSince(tApply)
+	if on {
+		obsBatchesDel.Inc()
+		obsUpdatesDel.Add(uint64(len(src)))
+		obsEdgesRemoved.Add(removed.Load())
+	}
 }
 
 // deleteGroupBulk subtracts a sorted update group from a vertex's neighbor

@@ -1,0 +1,55 @@
+package core
+
+import "testing"
+
+// TestDeleteBatchExactCounts pins down the edge-count bookkeeping in
+// DeleteBatch: the count must drop by exactly the number of stored edges
+// removed, even when the delete batch contains duplicates of the same edge
+// and edges that were never inserted (both must count zero).
+func TestDeleteBatchExactCounts(t *testing.T) {
+	g := New(8, Config{})
+	g.InsertBatch(
+		[]uint32{0, 0, 1, 2, 3, 3},
+		[]uint32{1, 2, 2, 3, 4, 5},
+	)
+	if g.NumEdges() != 6 {
+		t.Fatalf("setup: NumEdges=%d want 6", g.NumEdges())
+	}
+
+	// Two real edges, one of them listed three times, plus two absent
+	// edges (one touching existing vertices, one between isolated ones).
+	g.DeleteBatch(
+		[]uint32{0, 0, 0, 3, 5, 6},
+		[]uint32{1, 1, 1, 4, 0, 7},
+	)
+	if g.NumEdges() != 4 {
+		t.Fatalf("after delete: NumEdges=%d want 4", g.NumEdges())
+	}
+	if g.Has(0, 1) || g.Has(3, 4) {
+		t.Fatal("deleted edges still present")
+	}
+	if !g.Has(0, 2) || !g.Has(1, 2) || !g.Has(2, 3) || !g.Has(3, 5) {
+		t.Fatal("delete removed an edge it should not have")
+	}
+	if g.Degree(0) != 1 || g.Degree(3) != 1 || g.Degree(5) != 0 {
+		t.Fatalf("degrees off: deg(0)=%d deg(3)=%d deg(5)=%d",
+			g.Degree(0), g.Degree(3), g.Degree(5))
+	}
+
+	// A batch made entirely of absent and duplicate-absent edges is a
+	// strict no-op on the count.
+	g.DeleteBatch([]uint32{0, 0, 7}, []uint32{1, 1, 7})
+	if g.NumEdges() != 4 {
+		t.Fatalf("no-op delete changed NumEdges to %d", g.NumEdges())
+	}
+
+	// Deleting the remainder (again with duplicates) drains to zero, not
+	// below: the counter must not wrap.
+	g.DeleteBatch(
+		[]uint32{0, 0, 1, 2, 3, 3},
+		[]uint32{2, 2, 2, 3, 5, 5},
+	)
+	if g.NumEdges() != 0 {
+		t.Fatalf("after draining: NumEdges=%d want 0", g.NumEdges())
+	}
+}

@@ -73,6 +73,12 @@ func (g *Graph) EnsureVertices(n uint32) {
 // NumEdges returns the number of directed edges stored.
 func (g *Graph) NumEdges() uint64 { return g.m.Load() }
 
+// subEdges subtracts n from the edge count. atomic.Uint64 has no Sub;
+// adding the two's complement -n is the documented equivalent (values wrap
+// modulo 2^64), and n never exceeds the current count because every removal
+// was a stored edge.
+func (g *Graph) subEdges(n uint64) { g.m.Add(-n) }
+
 // Degree returns the out-degree of v.
 func (g *Graph) Degree(v uint32) uint32 { return g.verts[v].deg }
 
@@ -248,6 +254,7 @@ func (g *Graph) rebuildVertex(v uint32, ns []uint32) {
 		if !wasHITree {
 			if _, ok := vb.ov.(*hitree.Tree); ok {
 				g.stats.RIAToHITree.Add(1)
+				obsPromoteRIAHIT.Inc()
 			}
 		}
 	} else {

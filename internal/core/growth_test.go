@@ -49,6 +49,68 @@ func TestOutOfRangePanicsWithClearMessage(t *testing.T) {
 	}
 }
 
+func TestOutOfRangePanicMessageCoordinates(t *testing.T) {
+	// The panic must name the offending edge and the valid range so a user
+	// can locate the bad input without a debugger.
+	g := New(4, Config{})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", r)
+		}
+		if !strings.Contains(msg, "edge (7,1)") || !strings.Contains(msg, "[0,4)") {
+			t.Fatalf("panic omits edge coordinates or range: %q", msg)
+		}
+	}()
+	g.InsertBatch([]uint32{3, 7}, []uint32{0, 1})
+}
+
+func TestInsertIntoGrownRange(t *testing.T) {
+	// EnsureVertices followed by a batch that lands entirely in the newly
+	// grown slots, including the boundary vertex n-1, and edges that span
+	// the old/new boundary.
+	g := New(4, Config{})
+	g.InsertBatch([]uint32{0, 1}, []uint32{1, 2})
+	g.EnsureVertices(64)
+
+	src := []uint32{63, 40, 3, 63}
+	dst := []uint32{40, 50, 63, 3}
+	g.InsertBatch(src, dst)
+	if g.NumEdges() != 6 {
+		t.Fatalf("NumEdges=%d want 6", g.NumEdges())
+	}
+	for i := range src {
+		if !g.Has(src[i], dst[i]) {
+			t.Fatalf("missing grown-range edge (%d,%d)", src[i], dst[i])
+		}
+	}
+	if g.Degree(63) != 2 || g.Degree(40) != 1 {
+		t.Fatalf("grown-range degrees off: deg(63)=%d deg(40)=%d",
+			g.Degree(63), g.Degree(40))
+	}
+	// Old edges are untouched and deletes work across the boundary.
+	if !g.Has(0, 1) || !g.Has(1, 2) {
+		t.Fatal("pre-growth edges lost")
+	}
+	g.DeleteBatch([]uint32{63, 63}, []uint32{40, 3})
+	if g.NumEdges() != 4 || g.Has(63, 40) || g.Has(63, 3) {
+		t.Fatalf("delete in grown range failed: NumEdges=%d", g.NumEdges())
+	}
+	// Vertex 64 is still out of range after growing to 64.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for vertex == n")
+			}
+		}()
+		g.InsertBatch([]uint32{64}, []uint32{0})
+	}()
+}
+
 func TestGrowingStreamScenario(t *testing.T) {
 	// Model the Table 4 pattern: the vertex set grows while edges stream.
 	g := New(0, Config{})

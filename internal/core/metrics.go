@@ -1,0 +1,39 @@
+package core
+
+import "lsgraph/internal/obs"
+
+// Engine metrics (internal/obs registry). Batch-phase histograms observe
+// once per batch; path/edge counters are recorded per group or per batch,
+// sharded by the applying worker. All hot-path recording is gated on
+// obs.Enabled(); structural promotions are rare and recorded
+// unconditionally so one-off runs can read them from a Snapshot without
+// enabling collection.
+var (
+	obsPhaseSort = obs.NewHistogram("lsgraph_batch_phase_nanos", `phase="sort"`, "ns",
+		"per-batch time packing and sorting update keys")
+	obsPhaseGroup = obs.NewHistogram("lsgraph_batch_phase_nanos", `phase="group"`, "ns",
+		"per-batch time deduplicating and grouping by source vertex")
+	obsPhaseApply = obs.NewHistogram("lsgraph_batch_phase_nanos", `phase="apply"`, "ns",
+		"per-batch time applying grouped updates in parallel")
+
+	obsBatchesIns = obs.NewCounter("lsgraph_batches_total", `op="insert"`, "update batches applied")
+	obsBatchesDel = obs.NewCounter("lsgraph_batches_total", `op="delete"`, "update batches applied")
+	obsUpdatesIns = obs.NewCounter("lsgraph_batch_updates_total", `op="insert"`,
+		"raw updates submitted, before dedup")
+	obsUpdatesDel = obs.NewCounter("lsgraph_batch_updates_total", `op="delete"`,
+		"raw updates submitted, before dedup")
+	obsEdgesAdded = obs.NewCounter("lsgraph_edges_changed_total", `op="insert"`,
+		"directed edges actually added")
+	obsEdgesRemoved = obs.NewCounter("lsgraph_edges_changed_total", `op="delete"`,
+		"directed edges actually removed")
+
+	obsGroupsBulk = obs.NewCounter("lsgraph_batch_groups_total", `path="bulk"`,
+		"per-vertex groups applied via merge-and-rebuild")
+	obsGroupsEdge = obs.NewCounter("lsgraph_batch_groups_total", `path="per-edge"`,
+		"per-vertex groups applied one edge at a time")
+
+	obsPromoteArrRIA = obs.NewCounter("lsgraph_overflow_promotions_total", `from="array",to="ria"`,
+		"overflow structures promoted from sorted array to RIA")
+	obsPromoteRIAHIT = obs.NewCounter("lsgraph_overflow_promotions_total", `from="ria",to="hitree"`,
+		"overflow structures promoted from RIA to HITree (the transitions §6.2 counts)")
+)

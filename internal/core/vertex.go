@@ -176,12 +176,14 @@ func (g *Graph) maybePromote(ov overflow) overflow {
 	switch o := ov.(type) {
 	case *arrOverflow:
 		if len(o.data) > g.cfg.ArrayMax && g.cfg.Overflow != KindPMA {
+			obsPromoteArrRIA.Inc()
 			return ria.BulkLoad(o.data, g.cfg.Alpha)
 		}
 	case *ria.RIA:
 		if o.Len() > g.cfg.M {
 			ns := o.AppendTo(make([]uint32, 0, o.Len()))
 			g.stats.RIAToHITree.Add(1)
+			obsPromoteRIAHIT.Inc()
 			return hitree.BulkLoad(ns, g.treeCfg)
 		}
 	}

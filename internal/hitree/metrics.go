@@ -1,0 +1,18 @@
+package hitree
+
+import "lsgraph/internal/obs"
+
+// Structural-event metrics. Model fits, rebuilds, and child creation are
+// rare relative to element operations and are counted unconditionally;
+// in-block run packing sits on the insert path and is gated on
+// obs.Enabled().
+var (
+	obsLIAFits = obs.NewCounter("lsgraph_hitree_lia_model_fits_total", "",
+		"LIA linear-regression model fits (bulk loads, promotions, and rebuilds)")
+	obsLIARebuilds = obs.NewCounter("lsgraph_hitree_lia_rebuilds_total", "",
+		"LIA subtree rebuild-and-retrain events triggered by growth past RebuildFactor")
+	obsVertical = obs.NewCounter("lsgraph_hitree_vertical_moves_total", "",
+		"child nodes created by LIA block overflow (vertical movement)")
+	obsHorizontal = obs.NewCounter("lsgraph_hitree_horizontal_moves_total", "",
+		"elements packed into LIA B-runs (in-block horizontal movement)")
+)

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (one HELP/TYPE header per metric name, then every series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	prevName := ""
+	lines := make([]string, 0, 8)
+	for _, m := range r.sorted() {
+		d := m.meta()
+		if d.name != prevName {
+			fmt.Fprintf(&b, "# HELP %s %s\n", d.name, d.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", d.name, d.typ)
+			prevName = d.name
+		}
+		lines = m.promLines(lines[:0])
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot returns every metric's current value keyed by its series name
+// ("name" or `name{labels}`), ready for JSON encoding: counters and gauges
+// map to numbers, histograms to {count, sum, unit, buckets} objects, and
+// per-worker counters to {total, workers} objects.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, m := range r.sorted() {
+		out[m.meta().series("")] = m.snapshotValue()
+	}
+	return out
+}
+
+// SnapshotJSON returns the Default registry's Snapshot as indented JSON.
+func SnapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(Default.Snapshot(), "", "  ")
+}

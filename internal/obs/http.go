@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler exposing the registry and the runtime
+// profilers:
+//
+//	/metrics        Prometheus text format
+//	/metrics.json   JSON snapshot (Registry.Snapshot)
+//	/debug/pprof/*  net/http/pprof (heap, goroutine, CPU profile, trace, ...)
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve enables collection and serves Handler(Default) on addr (e.g.
+// ":6060"). It blocks; run it in a goroutine:
+//
+//	go func() { log.Fatal(obs.Serve(*metricsAddr)) }()
+func Serve(addr string) error {
+	SetEnabled(true)
+	return http.ListenAndServe(addr, Handler(Default))
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounterIn(r, "test_total", `k="v"`, "a test counter")
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	c.AddShard(3, 100)
+	if got := c.Value(); got != 142 {
+		t.Fatalf("Value = %d, want 142", got)
+	}
+}
+
+func TestCounterDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	NewCounterIn(r, "dup_total", "", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	NewCounterIn(r, "dup_total", "", "x")
+}
+
+// TestCounterConcurrent is the race-mode smoke test for the sharded
+// counters: many goroutines hammer Add, AddShard, and Value concurrently;
+// the final total must be exact and `go test -race` must stay silent.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounterIn(r, "conc_total", "", "concurrency smoke")
+	h := NewHistogramIn(r, "conc_hist", "", "ns", "concurrency smoke")
+	g := NewGaugeIn(r, "conc_gauge", "", "concurrency smoke")
+	const workers = 16
+	const perWorker = 10000
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() { // concurrent reader racing the writers
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Value()
+				_ = h.Count()
+				_ = g.Value()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	writers.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				if i%2 == 0 {
+					c.Add(1)
+				} else {
+					c.AddShard(w, 1)
+				}
+				h.Observe(uint64(i))
+				g.Add(1)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("lost updates: %d, want %d", got, workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count %d, want %d", h.Count(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("gauge %d, want %d", g.Value(), workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := NewGaugeIn(r, "test_gauge", "", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogramIn(r, "test_hist", "", "elements", "a histogram")
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1010 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1000 -> 10.
+	for i, want := range map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 10: 1} {
+		if got := h.buckets[i].Load(); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestTimerDisabledIsZero(t *testing.T) {
+	SetEnabled(false)
+	if !StartTimer().IsZero() {
+		t.Fatal("StartTimer should return zero time when disabled")
+	}
+	r := NewRegistry()
+	h := NewHistogramIn(r, "timer_hist", "", "ns", "x")
+	h.ObserveSince(time.Time{})
+	if h.Count() != 0 {
+		t.Fatal("ObserveSince recorded a zero start")
+	}
+	SetEnabled(true)
+	defer SetEnabled(false)
+	st := StartTimer()
+	if st.IsZero() {
+		t.Fatal("StartTimer returned zero while enabled")
+	}
+	h.ObserveSince(st)
+	if h.Count() != 1 {
+		t.Fatal("ObserveSince dropped a live observation")
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	NewCounterIn(r, "fmt_total", `op="a"`, "a labelled counter").Add(5)
+	NewCounterIn(r, "fmt_total", `op="b"`, "a labelled counter").Add(7)
+	NewGaugeIn(r, "fmt_gauge", "", "a gauge").Set(-2)
+	h := NewHistogramIn(r, "fmt_hist", "", "ns", "a histogram")
+	h.Observe(3)
+	pw := NewCounterIn(r, "fmt_workers_total", "", "per worker")
+	pw.perShard = true
+	pw.AddShard(2, 9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP fmt_total a labelled counter",
+		"# TYPE fmt_total counter",
+		`fmt_total{op="a"} 5`,
+		`fmt_total{op="b"} 7`,
+		"# TYPE fmt_gauge gauge",
+		"fmt_gauge -2",
+		"# TYPE fmt_hist histogram",
+		`fmt_hist_bucket{le="3"} 1`,
+		`fmt_hist_bucket{le="+Inf"} 1`,
+		"fmt_hist_sum 3",
+		"fmt_hist_count 1",
+		`fmt_workers_total{worker="2"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// One HELP header per metric name even with multiple label sets.
+	if n := strings.Count(out, "# HELP fmt_total"); n != 1 {
+		t.Errorf("HELP fmt_total appears %d times", n)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	NewCounterIn(r, "snap_total", `op="x"`, "c").Add(3)
+	h := NewHistogramIn(r, "snap_hist", "", "ns", "h")
+	h.Observe(100)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got[`snap_total{op="x"}`] != float64(3) {
+		t.Fatalf("snapshot counter = %v", got[`snap_total{op="x"}`])
+	}
+	hv, ok := got["snap_hist"].(map[string]any)
+	if !ok || hv["count"] != float64(1) || hv["sum"] != float64(100) {
+		t.Fatalf("snapshot histogram = %v", got["snap_hist"])
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	r := NewRegistry()
+	NewCounterIn(r, "http_total", "", "served counter").Add(11)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":      "http_total 11",
+		"/metrics.json": `"http_total": 11`,
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("%s: missing %q in %q", path, want, body)
+		}
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}

@@ -12,6 +12,21 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"lsgraph/internal/obs"
+)
+
+// Per-worker utilization metrics (exported as one series per worker). They
+// are recorded only while obs collection is enabled; the disabled cost is
+// one atomic load per fork-join call.
+var (
+	obsChunks = obs.NewPerWorkerCounter("lsgraph_parallel_chunks_total", "",
+		"dynamically claimed chunks, by worker")
+	obsBlocks = obs.NewPerWorkerCounter("lsgraph_parallel_blocks_total", "",
+		"statically assigned blocks processed, by worker")
+	obsBusy = obs.NewPerWorkerCounter("lsgraph_parallel_busy_nanos_total", "",
+		"nanoseconds spent inside loop bodies, by worker")
 )
 
 // Procs is the default parallelism used by For and Sort when the caller
@@ -39,6 +54,13 @@ func For(n, p int, f func(i int)) {
 // workers. It is the loop primitive used by hot inner loops that want to
 // hoist per-chunk state out of the iteration body.
 func ForChunk(n, p int, f func(lo, hi int)) {
+	ForChunkW(n, p, func(_, lo, hi int) { f(lo, hi) })
+}
+
+// ForChunkW is ForChunk with the claiming worker's index passed to f
+// (0 <= w < p), for callers that keep per-worker state (padded accumulator
+// slots, obs shard indexes) without atomics.
+func ForChunkW(n, p int, f func(w, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -49,14 +71,20 @@ func ForChunk(n, p int, f func(lo, hi int)) {
 		p = n/grainSize + 1
 	}
 	if p <= 1 {
-		f(0, n)
+		t := obs.StartTimer()
+		f(0, 0, n)
+		if !t.IsZero() {
+			obsChunks.AddShard(0, 1)
+			obsBusy.AddShard(0, uint64(time.Since(t)))
+		}
 		return
 	}
+	on := obs.Enabled()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				lo := int(next.Add(grainSize)) - grainSize
@@ -67,9 +95,16 @@ func ForChunk(n, p int, f func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				f(lo, hi)
+				if on {
+					t := time.Now()
+					f(w, lo, hi)
+					obsBusy.AddShard(w, uint64(time.Since(t)))
+					obsChunks.AddShard(w, 1)
+				} else {
+					f(w, lo, hi)
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -79,6 +114,12 @@ func ForChunk(n, p int, f func(lo, hi int)) {
 // guarantees that block b is processed by worker b%p, which the batch
 // updater uses to pin all updates of one vertex to one worker.
 func ForBlocked(nb, p int, f func(b int)) {
+	ForBlockedW(nb, p, func(_, b int) { f(b) })
+}
+
+// ForBlockedW is ForBlocked with the owning worker's index passed to f
+// (block b is always processed by worker b%p, so w is deterministic).
+func ForBlockedW(nb, p int, f func(w, b int)) {
 	if nb <= 0 {
 		return
 	}
@@ -89,18 +130,34 @@ func ForBlocked(nb, p int, f func(b int)) {
 		p = nb
 	}
 	if p <= 1 {
+		t := obs.StartTimer()
 		for b := 0; b < nb; b++ {
-			f(b)
+			f(0, b)
+		}
+		if !t.IsZero() {
+			obsBlocks.AddShard(0, uint64(nb))
+			obsBusy.AddShard(0, uint64(time.Since(t)))
 		}
 		return
 	}
+	on := obs.Enabled()
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func(w int) {
 			defer wg.Done()
+			var t time.Time
+			if on {
+				t = time.Now()
+			}
+			nb64 := uint64(0)
 			for b := w; b < nb; b += p {
-				f(b)
+				f(w, b)
+				nb64++
+			}
+			if on {
+				obsBlocks.AddShard(w, nb64)
+				obsBusy.AddShard(w, uint64(time.Since(t)))
 			}
 		}(w)
 	}

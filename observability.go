@@ -1,0 +1,40 @@
+package lsgraph
+
+import (
+	"io"
+	"net/http"
+
+	"lsgraph/internal/obs"
+)
+
+// Observability: the engine keeps a process-wide metrics registry
+// (internal/obs) permanently wired through the batch pipeline, the RIA and
+// HITree structural operations, the worker pool, and the analytics
+// kernels. Collection is off by default and costs a single atomic load per
+// instrumented operation while off; these functions expose the registry to
+// embedding applications. The cmd/lsgraph and cmd/lsbench CLIs expose the
+// same data via their -metrics flag.
+
+// EnableMetrics turns metric collection on or off (off by default).
+// Collected values are retained across toggles.
+func EnableMetrics(on bool) { obs.SetEnabled(on) }
+
+// MetricsEnabled reports whether metric collection is on.
+func MetricsEnabled() bool { return obs.Enabled() }
+
+// WriteMetrics writes every engine metric in the Prometheus text
+// exposition format.
+func WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+// MetricsSnapshotJSON returns every engine metric as an indented JSON
+// document (counters and gauges as numbers, histograms as
+// {count, sum, unit, buckets} objects).
+func MetricsSnapshotJSON() ([]byte, error) { return obs.SnapshotJSON() }
+
+// MetricsHandler returns an http.Handler serving /metrics (Prometheus
+// text), /metrics.json (JSON snapshot), and /debug/pprof/*.
+func MetricsHandler() http.Handler { return obs.Handler(obs.Default) }
+
+// ServeMetrics enables collection and serves MetricsHandler on addr
+// (e.g. ":6060"). It blocks; run it in a goroutine.
+func ServeMetrics(addr string) error { return obs.Serve(addr) }

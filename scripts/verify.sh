@@ -1,0 +1,30 @@
+#!/bin/sh
+# verify.sh -- the repo's pre-merge gate. Runs formatting, vet, build, the
+# full test suite, and the race detector on the concurrency-heavy packages
+# (the sharded metrics registry and everything that feeds it from parallel
+# workers). Usage: scripts/verify.sh  (or: make verify)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (core, parallel, obs)"
+go test -race lsgraph/internal/core lsgraph/internal/parallel lsgraph/internal/obs
+
+echo "verify: OK"
