@@ -22,5 +22,10 @@ verify:
 bench-obs:
 	$(GO) test -run xxx -bench ObsOverhead -count 3 ./internal/core
 
+# Update/analytics benchmark sweep; writes ns/op per benchmark to
+# BENCH_pr2.json (the perf trajectory record).
+bench:
+	sh scripts/bench.sh
+
 clean:
 	$(GO) clean ./...

@@ -5,6 +5,7 @@
 //
 //	lsbench                         # run every experiment at default scale
 //	lsbench -exp fig12,table3       # run selected experiments
+//	lsbench -exp prepare            # prepare-pipeline phase breakdown vs workers
 //	lsbench -scale 14 -trials 5     # bigger graphs, more repetitions
 //	lsbench -quick                  # smallest useful scale (~1 minute)
 //	lsbench -list                   # list experiment names

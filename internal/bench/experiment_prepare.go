@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lsgraph/internal/core"
+	"lsgraph/internal/obs"
+)
+
+// batchPhases are the prepare/apply stages the core engine times per batch
+// (lsgraph_batch_phase_nanos); the first three are the prepare pipeline.
+var batchPhases = []string{"pack", "sort", "group", "apply"}
+
+// phaseSums reads the per-phase nanosecond totals out of the obs registry
+// snapshot.
+func phaseSums() map[string]uint64 {
+	snap := obs.Default.Snapshot()
+	out := make(map[string]uint64, len(batchPhases))
+	for _, ph := range batchPhases {
+		key := fmt.Sprintf("lsgraph_batch_phase_nanos{phase=%q}", ph)
+		if h, ok := snap[key].(map[string]any); ok {
+			if s, ok := h["sum"].(uint64); ok {
+				out[ph] = s
+			}
+		}
+	}
+	return out
+}
+
+// Prepare profiles the parallelized batch-update prepare pipeline: insert
+// throughput on the OR stand-in across a worker sweep, with the per-phase
+// breakdown (pack, sort, dedup/group, apply) read back from the engine's
+// own obs instrumentation rather than external timers. prep-speedup is the
+// prepare pipeline's (pack+sort+group) improvement over the same run at one
+// worker — the scaling the skew-aware scheduler and parallel radix sort
+// exist to deliver.
+func Prepare(s Scale, w io.Writer) {
+	t := NewTable("Prepare pipeline: insert phases (ns/edge) vs workers on OR",
+		"Parallel prepare: pack+sort+group should shrink as workers grow; apply is the §5 group-parallel phase.",
+		"workers", "insert-throughput", "pack", "sort", "group", "apply", "prep-speedup")
+	or, _ := MakeDataset("OR-sim", s)
+	b := paperBatch(or, s)
+
+	wasEnabled := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(wasEnabled)
+
+	var basePrep float64 // ns/edge of the prepare phases at workers=1
+	for _, workers := range workerSweep() {
+		g := core.New(or.N, core.Config{Workers: workers})
+		src, dst := Split(or.Edges)
+		g.InsertBatch(src, dst)
+
+		var total time.Duration
+		phases := map[string]uint64{}
+		for trial := 0; trial < s.Trials; trial++ {
+			bs, bd := or.UpdateBatch(b, trial)
+			before := phaseSums()
+			t0 := time.Now()
+			g.InsertBatch(bs, bd)
+			total += time.Since(t0)
+			after := phaseSums()
+			for _, ph := range batchPhases {
+				phases[ph] += after[ph] - before[ph]
+			}
+			g.DeleteBatch(bs, bd) // restore, outside the snapshot window
+		}
+
+		edges := float64(b * s.Trials)
+		perEdge := func(ph string) float64 { return float64(phases[ph]) / edges }
+		prep := perEdge("pack") + perEdge("sort") + perEdge("group")
+		if basePrep == 0 {
+			basePrep = prep
+		}
+		speedup := 0.0
+		if prep > 0 {
+			speedup = basePrep / prep
+		}
+		t.Row(workers, throughput(b, total/time.Duration(s.Trials)),
+			perEdge("pack"), perEdge("sort"), perEdge("group"), perEdge("apply"),
+			speedup)
+	}
+	t.WriteTo(w)
+}

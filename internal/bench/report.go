@@ -99,7 +99,7 @@ func throughput(edges int, d time.Duration) float64 {
 var Experiments = []string{
 	"fig3", "fig4", "fig12", "deletions", "smallbatch", "ablation",
 	"fig13", "table2", "table3", "fig14", "fig15", "fig16", "fig17",
-	"streaming", "graph500", "kcore", "sortledton",
+	"streaming", "graph500", "kcore", "sortledton", "prepare",
 }
 
 // Run executes one named experiment at the given scale, writing its report
@@ -140,6 +140,8 @@ func Run(name string, s Scale, w io.Writer) error {
 		KCoreExtra(s, w)
 	case "sortledton":
 		Sortledton(s, w)
+	case "prepare":
+		Prepare(s, w)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %s)",
 			name, strings.Join(Experiments, ", "))

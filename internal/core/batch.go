@@ -11,31 +11,249 @@ import (
 )
 
 // group is the contiguous run of one source vertex's updates inside the
-// sorted batch.
+// sorted, deduplicated batch. prepareBatch emits exactly one group per
+// source vertex, which is what lets the apply phase hand each vertex to
+// exactly one worker (§5's lock-free invariant).
 type group struct {
 	v      uint32
 	lo, hi int
 }
 
-// prepareBatch packs, sorts, deduplicates, and groups a batch by source
-// vertex (§5 "Batch Updates"): sort by source then destination, then
-// assign each vertex's group to exactly one worker, which removes locking
-// and keeps one vertex's structures hot in one core's cache.
-func (g *Graph) prepareBatch(src, dst []uint32) ([]uint64, []group) {
-	tSort := obs.StartTimer()
-	n := uint32(len(g.verts))
-	ks := make([]uint64, len(src))
-	for i := range src {
-		if src[i] >= n || dst[i] >= n {
-			panic(fmt.Sprintf("core: edge (%d,%d) outside vertex space [0,%d); grow with EnsureVertices",
-				src[i], dst[i], n))
-		}
-		ks[i] = uint64(src[i])<<32 | uint64(dst[i])
+// parPrepMin is the smallest batch the prepare pipeline parallelizes;
+// below it one worker owns the whole batch, since fork-join overhead would
+// exceed the scan being split.
+const parPrepMin = 1 << 12
+
+// prepScratch holds the prepare pipeline's reusable buffers. Updates never
+// run concurrently with each other (the Graph concurrency contract), so one
+// arena per graph makes steady-state batches allocation-free: after the
+// first batch of a given size, pack, dedup, group discovery, and the apply
+// schedule all run in retained memory.
+type prepScratch struct {
+	ks     []uint64 // packed (src,dst) keys
+	tmp    []uint64 // parallel-dedup scatter target; swapped with ks per batch
+	groups []group  // per-vertex groups
+	order  []uint64 // apply schedule keys, size<<32 | group index
+	cuts   []int    // p+1 source-aligned range bounds
+	kept   []int    // per-range deduped key count -> prefix offsets
+	gcnt   []int    // per-range group count -> prefix offsets
+}
+
+// applyScratch is one worker's reusable buffers for the bulk
+// merge-and-rebuild paths. The padding keeps adjacent workers' slice
+// headers on separate cache lines, since workers store grown slices back
+// concurrently.
+type applyScratch struct {
+	old []uint32 // current neighbor set of the vertex being rebuilt
+	out []uint32 // merged (insert) or kept (delete) neighbor set
+	_   [128 - 2*24]byte
+}
+
+// workers returns the effective update parallelism for this graph.
+func (g *Graph) workers() int {
+	if g.cfg.Workers > 0 {
+		return g.cfg.Workers
 	}
-	parallel.SortUint64(ks, g.cfg.Workers)
+	return parallel.Procs
+}
+
+// ensureApplyScratch sizes the per-worker arenas for an apply phase with p
+// workers.
+func (g *Graph) ensureApplyScratch(p int) {
+	if len(g.apply) < p {
+		g.apply = make([]applyScratch, p)
+	}
+}
+
+// validateBatch panics with a clear message when src and dst disagree in
+// length, instead of an index-out-of-range deep inside prepareBatch.
+func validateBatch(op string, src, dst []uint32) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("core: %s: src/dst length mismatch (%d vs %d); every edge needs both endpoints",
+			op, len(src), len(dst)))
+	}
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growGroups(s []group, n int) []group {
+	if cap(s) < n {
+		return make([]group, n)
+	}
+	return s[:n]
+}
+
+// prepareBatch packs, sorts, deduplicates, and groups a batch by source
+// vertex (§5 "Batch Updates"). All three phases run in parallel for large
+// batches: packing is a chunked parallel-for, the sort is the parallel MSD
+// radix of internal/parallel, and dedup + group discovery split the sorted
+// keys into source-aligned ranges so groups never straddle two workers.
+func (g *Graph) prepareBatch(src, dst []uint32) ([]uint64, []group) {
+	p := g.workers()
+	if obs.Enabled() {
+		obsPrepWorkers.Set(int64(p))
+	}
+	tPack := obs.StartTimer()
+	ks := g.packKeys(src, dst, p)
+	obsPhasePack.ObserveSince(tPack)
+
+	tSort := obs.StartTimer()
+	parallel.SortUint64(ks, p)
 	obsPhaseSort.ObserveSince(tSort)
+
 	tGroup := obs.StartTimer()
-	// Dedup in place.
+	keys, groups := g.dedupGroup(ks, p)
+	obsPhaseGroup.ObserveSince(tGroup)
+	return keys, groups
+}
+
+// packKeys validates every endpoint and packs src/dst into sortable
+// (src<<32)|dst keys, in parallel for large batches. An out-of-range edge
+// is recorded by the worker that finds it and re-raised as a panic on the
+// caller's goroutine, because a panic inside a worker goroutine could not
+// be recovered by the caller.
+func (g *Graph) packKeys(src, dst []uint32, p int) []uint64 {
+	n := uint32(len(g.verts))
+	g.prep.ks = growU64(g.prep.ks, len(src))
+	ks := g.prep.ks
+	var bad atomic.Int64 // 1-based index of an out-of-range edge
+	parallel.ForChunkW(len(src), p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s, d := src[i], dst[i]
+			if s >= n || d >= n {
+				bad.CompareAndSwap(0, int64(i)+1)
+				return
+			}
+			ks[i] = uint64(s)<<32 | uint64(d)
+		}
+	})
+	if i := bad.Load(); i != 0 {
+		panic(fmt.Sprintf("core: edge (%d,%d) outside vertex space [0,%d); grow with EnsureVertices",
+			src[i-1], dst[i-1], n))
+	}
+	return ks
+}
+
+// dedupGroup removes duplicate keys from the sorted ks and discovers the
+// per-source-vertex groups. Small batches dedup in place on one worker.
+// Large batches split into p ranges whose bounds are advanced to
+// source-vertex boundaries — duplicates are equal keys and therefore share
+// a source, so neither a duplicate run nor a group can straddle two ranges.
+// One parallel pass counts each range's survivors and groups, a p-length
+// prefix sum places them, and a second parallel pass writes keys (into tmp,
+// never into another range's unread input) and groups at their final
+// offsets.
+func (g *Graph) dedupGroup(ks []uint64, p int) ([]uint64, []group) {
+	n := len(ks)
+	if n == 0 {
+		return ks, g.prep.groups[:0]
+	}
+	if maxP := n / 1024; p > maxP {
+		p = maxP
+	}
+	if p <= 1 || n < parPrepMin {
+		return g.dedupGroupSeq(ks)
+	}
+
+	// Source-aligned range bounds. cuts is monotonic: a cut lands at the
+	// next source boundary at or after w*n/p, never before the previous cut.
+	cuts := growInt(g.prep.cuts, p+1)
+	cuts[0], cuts[p] = 0, n
+	for w := 1; w < p; w++ {
+		c := w * n / p
+		if c < cuts[w-1] {
+			c = cuts[w-1]
+		}
+		for c > 0 && c < n && ks[c]>>32 == ks[c-1]>>32 {
+			c++
+		}
+		cuts[w] = c
+	}
+
+	// Pass 1: count survivors and groups per range.
+	kept := growInt(g.prep.kept, p)
+	gcnt := growInt(g.prep.gcnt, p)
+	parallel.ForBlockedW(p, p, func(_, r int) {
+		lo, hi := cuts[r], cuts[r+1]
+		nk, ng := 0, 0
+		var prev uint64
+		for i := lo; i < hi; i++ {
+			k := ks[i]
+			if i > lo && k == prev {
+				continue
+			}
+			if i == lo || k>>32 != prev>>32 {
+				ng++
+			}
+			prev = k
+			nk++
+		}
+		kept[r], gcnt[r] = nk, ng
+	})
+
+	// Exclusive prefix sums place each range's output.
+	totalK, totalG := 0, 0
+	for r := 0; r < p; r++ {
+		kept[r], totalK = totalK, totalK+kept[r]
+		gcnt[r], totalG = totalG, totalG+gcnt[r]
+	}
+
+	// Pass 2: write deduped keys and groups at their final offsets.
+	tmp := growU64(g.prep.tmp, n)
+	groups := growGroups(g.prep.groups, totalG)
+	on := obs.Enabled()
+	parallel.ForBlockedW(p, p, func(_, r int) {
+		lo, hi := cuts[r], cuts[r+1]
+		kw, gw := kept[r], gcnt[r]
+		var prev uint64
+		for i := lo; i < hi; i++ {
+			k := ks[i]
+			if i > lo && k == prev {
+				continue
+			}
+			if i == lo || k>>32 != prev>>32 {
+				if i > lo {
+					groups[gw-1].hi = kw
+				}
+				groups[gw] = group{v: uint32(k >> 32), lo: kw}
+				gw++
+			}
+			tmp[kw] = k
+			kw++
+			prev = k
+		}
+		if hi > lo {
+			groups[gw-1].hi = kw
+		}
+		if on {
+			for gi := gcnt[r]; gi < gw; gi++ {
+				obsGroupSize.Observe(uint64(groups[gi].hi - groups[gi].lo))
+			}
+		}
+	})
+
+	g.prep.cuts, g.prep.kept, g.prep.gcnt = cuts, kept, gcnt
+	g.prep.groups = groups
+	// The deduped stream now lives in tmp; swap the arenas so the next
+	// batch reuses both buffers.
+	g.prep.ks, g.prep.tmp = tmp, ks
+	return tmp[:totalK], groups
+}
+
+// dedupGroupSeq is the one-worker dedup + group discovery, in place.
+func (g *Graph) dedupGroupSeq(ks []uint64) ([]uint64, []group) {
 	w := 0
 	for i, k := range ks {
 		if i > 0 && k == ks[i-1] {
@@ -45,7 +263,8 @@ func (g *Graph) prepareBatch(src, dst []uint32) ([]uint64, []group) {
 		w++
 	}
 	ks = ks[:w]
-	var groups []group
+	groups := g.prep.groups[:0]
+	on := obs.Enabled()
 	for i := 0; i < len(ks); {
 		v := uint32(ks[i] >> 32)
 		j := i
@@ -53,10 +272,45 @@ func (g *Graph) prepareBatch(src, dst []uint32) ([]uint64, []group) {
 			j++
 		}
 		groups = append(groups, group{v: v, lo: i, hi: j})
+		if on {
+			obsGroupSize.Observe(uint64(j - i))
+		}
 		i = j
 	}
-	obsPhaseGroup.ObserveSince(tGroup)
+	g.prep.groups = groups
 	return ks, groups
+}
+
+// forEachGroupBySize applies f to every group exactly once. Scheduling is
+// skew-aware: groups are ordered largest-first and workers claim them
+// dynamically, so a hub vertex's huge group starts immediately instead of
+// serializing whichever worker a static round-robin happened to assign it
+// to, with the rest of the batch back-filling the other workers. Each group
+// — and therefore each source vertex, since prepareBatch emits one group
+// per vertex — is applied by exactly one worker, preserving the lock-free
+// one-vertex-one-worker invariant the paper's update path relies on (§5).
+func (g *Graph) forEachGroupBySize(groups []group, f func(w, gi int)) {
+	n := len(groups)
+	if n == 0 {
+		return
+	}
+	p := g.workers()
+	g.ensureApplyScratch(p)
+	if p <= 1 {
+		// One worker applies in vertex order; sorting the schedule would be
+		// pure overhead.
+		parallel.ForDynamicW(n, 1, f)
+		return
+	}
+	order := growU64(g.prep.order, n)
+	for i := range groups {
+		order[i] = uint64(groups[i].hi-groups[i].lo)<<32 | uint64(i)
+	}
+	parallel.SortUint64(order, p)
+	g.prep.order = order
+	parallel.ForDynamicW(n, p, func(w, i int) {
+		f(w, int(uint32(order[n-1-i])))
+	})
 }
 
 // bulkThreshold decides whether an insert group is large enough relative
@@ -77,8 +331,9 @@ func deleteBulkThreshold(groupLen int, deg uint32) bool {
 
 // InsertBatch adds the directed edges (src[i] -> dst[i]). Duplicate and
 // already-present edges are ignored. The batch is applied in parallel, one
-// vertex's group per worker.
+// vertex's group per worker, largest groups first.
 func (g *Graph) InsertBatch(src, dst []uint32) {
+	validateBatch("InsertBatch", src, dst)
 	if len(src) == 0 {
 		return
 	}
@@ -87,14 +342,14 @@ func (g *Graph) InsertBatch(src, dst []uint32) {
 	on := obs.Enabled()
 	tApply := obs.StartTimer()
 	var added atomic.Uint64
-	parallel.ForBlockedW(len(groups), g.cfg.Workers, func(w, gi int) {
+	g.forEachGroupBySize(groups, func(w, gi int) {
 		gr := groups[gi]
 		n := uint64(0)
 		if !g.cfg.NoBulkRebuild && bulkThreshold(gr.hi-gr.lo, g.verts[gr.v].deg) {
 			if on {
 				obsGroupsBulk.AddShard(w, 1)
 			}
-			n = g.insertGroupBulk(gr, ks)
+			n = g.insertGroupBulk(w, gr, ks)
 		} else {
 			if on {
 				obsGroupsEdge.AddShard(w, 1)
@@ -121,12 +376,24 @@ func (g *Graph) InsertBatch(src, dst []uint32) {
 // insertGroupBulk merges a vertex's existing neighbors with its update
 // group and rebuilds its storage in one pass, returning the number of new
 // edges. This is the large-batch fast path that lets throughput keep
-// climbing with batch size (Figure 12).
-func (g *Graph) insertGroupBulk(gr group, ks []uint64) uint64 {
+// climbing with batch size (Figure 12). The merge runs in worker w's
+// scratch arena; every overflow builder copies its input, so the arena is
+// safe to reuse for the worker's next group.
+func (g *Graph) insertGroupBulk(w int, gr group, ks []uint64) uint64 {
 	vb := &g.verts[gr.v]
-	old := make([]uint32, 0, int(vb.deg)+gr.hi-gr.lo)
-	old = g.AppendNeighbors(gr.v, old)
-	merged := make([]uint32, 0, len(old)+gr.hi-gr.lo)
+	sc := &g.apply[w]
+	if obs.Enabled() {
+		if cap(sc.old) >= int(vb.deg) && cap(sc.out) >= int(vb.deg)+gr.hi-gr.lo {
+			obsScratchHit.AddShard(w, 1)
+		} else {
+			obsScratchMiss.AddShard(w, 1)
+		}
+	}
+	old := g.AppendNeighbors(gr.v, sc.old[:0])
+	merged := sc.out[:0]
+	if cap(merged) < len(old)+gr.hi-gr.lo {
+		merged = make([]uint32, 0, len(old)+gr.hi-gr.lo)
+	}
 	i, j := 0, gr.lo
 	for i < len(old) && j < gr.hi {
 		a, b := old[i], uint32(ks[j])
@@ -153,12 +420,14 @@ func (g *Graph) insertGroupBulk(gr group, ks []uint64) uint64 {
 	}
 	added := uint64(len(merged) - len(old))
 	g.rebuildVertex(gr.v, merged)
+	sc.old, sc.out = old, merged // retain grown capacity for the next group
 	return added
 }
 
 // DeleteBatch removes the directed edges (src[i] -> dst[i]). Absent edges
 // are ignored.
 func (g *Graph) DeleteBatch(src, dst []uint32) {
+	validateBatch("DeleteBatch", src, dst)
 	if len(src) == 0 {
 		return
 	}
@@ -167,14 +436,14 @@ func (g *Graph) DeleteBatch(src, dst []uint32) {
 	on := obs.Enabled()
 	tApply := obs.StartTimer()
 	var removed atomic.Uint64
-	parallel.ForBlockedW(len(groups), g.cfg.Workers, func(w, gi int) {
+	g.forEachGroupBySize(groups, func(w, gi int) {
 		gr := groups[gi]
 		n := uint64(0)
 		if !g.cfg.NoBulkRebuild && deleteBulkThreshold(gr.hi-gr.lo, g.verts[gr.v].deg) {
 			if on {
 				obsGroupsBulk.AddShard(w, 1)
 			}
-			n = g.deleteGroupBulk(gr, ks)
+			n = g.deleteGroupBulk(w, gr, ks)
 		} else {
 			if on {
 				obsGroupsEdge.AddShard(w, 1)
@@ -199,12 +468,23 @@ func (g *Graph) DeleteBatch(src, dst []uint32) {
 }
 
 // deleteGroupBulk subtracts a sorted update group from a vertex's neighbor
-// set and rebuilds its storage, returning the number of removed edges.
-func (g *Graph) deleteGroupBulk(gr group, ks []uint64) uint64 {
+// set and rebuilds its storage, returning the number of removed edges. Like
+// insertGroupBulk it runs in worker w's scratch arena.
+func (g *Graph) deleteGroupBulk(w int, gr group, ks []uint64) uint64 {
 	vb := &g.verts[gr.v]
-	old := make([]uint32, 0, vb.deg)
-	old = g.AppendNeighbors(gr.v, old)
-	kept := make([]uint32, 0, len(old))
+	sc := &g.apply[w]
+	if obs.Enabled() {
+		if cap(sc.old) >= int(vb.deg) && cap(sc.out) >= int(vb.deg) {
+			obsScratchHit.AddShard(w, 1)
+		} else {
+			obsScratchMiss.AddShard(w, 1)
+		}
+	}
+	old := g.AppendNeighbors(gr.v, sc.old[:0])
+	kept := sc.out[:0]
+	if cap(kept) < len(old) {
+		kept = make([]uint32, 0, len(old))
+	}
 	j := gr.lo
 	for _, a := range old {
 		for j < gr.hi && uint32(ks[j]) < a {
@@ -218,5 +498,6 @@ func (g *Graph) deleteGroupBulk(gr group, ks []uint64) uint64 {
 	}
 	removed := uint64(len(old) - len(kept))
 	g.rebuildVertex(gr.v, kept)
+	sc.old, sc.out = old, kept
 	return removed
 }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"lsgraph/internal/gen"
+	"lsgraph/internal/refgraph"
+)
+
+func TestBatchLengthMismatchPanics(t *testing.T) {
+	g := New(16, Config{})
+	for _, tc := range []struct {
+		op string
+		f  func()
+	}{
+		{"InsertBatch", func() { g.InsertBatch([]uint32{1, 2}, []uint32{3}) }},
+		{"DeleteBatch", func() { g.DeleteBatch([]uint32{1}, []uint32{2, 3}) }},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: no panic on mismatched lengths", tc.op)
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("%s: panic value %T, want string", tc.op, r)
+				}
+				for _, want := range []string{tc.op, "src/dst length mismatch"} {
+					if !strings.Contains(msg, want) {
+						t.Fatalf("%s: panic %q missing %q", tc.op, msg, want)
+					}
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+// TestOneVertexOneWorker is the scheduler regression test of the satellite
+// task: under the skew-aware largest-first scheduler every group — and
+// therefore every source vertex, since prepareBatch emits one group per
+// vertex — must be applied by exactly one worker, exactly once.
+func TestOneVertexOneWorker(t *testing.T) {
+	const nv = 1 << 12
+	g := New(nv, Config{Workers: 8})
+	rm := gen.NewRMatPaper(12, 7)
+	es := rm.Edges(200000) // far above parPrepMin and the parallel-sort floor
+	src := make([]uint32, len(es))
+	dst := make([]uint32, len(es))
+	for i, e := range es {
+		src[i], dst[i] = e.Src, e.Dst
+	}
+	_, groups := g.prepareBatch(src, dst)
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	for i := 1; i < len(groups); i++ {
+		if groups[i].v <= groups[i-1].v {
+			t.Fatalf("groups not strictly ascending by vertex: %d then %d",
+				groups[i-1].v, groups[i].v)
+		}
+	}
+
+	var mu sync.Mutex
+	applied := make(map[int]int)         // group index -> times applied
+	vertexWorker := make(map[uint32]int) // vertex -> applying worker
+	g.forEachGroupBySize(groups, func(w, gi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		applied[gi]++
+		v := groups[gi].v
+		if prev, seen := vertexWorker[v]; seen && prev != w {
+			t.Errorf("vertex %d touched by workers %d and %d", v, prev, w)
+		}
+		vertexWorker[v] = w
+	})
+	if len(applied) != len(groups) {
+		t.Fatalf("applied %d of %d groups", len(applied), len(groups))
+	}
+	for gi, c := range applied {
+		if c != 1 {
+			t.Fatalf("group %d applied %d times", gi, c)
+		}
+	}
+	workers := map[int]bool{}
+	for _, w := range vertexWorker {
+		workers[w] = true
+	}
+	if len(workers) < 2 {
+		t.Logf("note: only %d worker(s) made claims (single-core machine?)", len(workers))
+	}
+}
+
+// TestDedupGroupParallelMatchesSequential checks the two dedup + group
+// discovery implementations against each other on skewed sorted keys with
+// heavy duplication.
+func TestDedupGroupParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{parPrepMin, parPrepMin * 4, 100000} {
+		ks := make([]uint64, n)
+		for i := range ks {
+			v := uint64(rng.Intn(300)) // few sources -> big skewed groups
+			d := uint64(rng.Intn(2000))
+			ks[i] = v<<32 | d
+		}
+		sortU64(ks)
+
+		gSeq := New(1, Config{Workers: 1})
+		wantKeys, wantGroups := gSeq.dedupGroupSeq(append([]uint64(nil), ks...))
+
+		for _, p := range []int{2, 3, 8} {
+			gPar := New(1, Config{Workers: p})
+			gotKeys, gotGroups := gPar.dedupGroup(append([]uint64(nil), ks...), p)
+			if len(gotKeys) != len(wantKeys) {
+				t.Fatalf("n=%d p=%d: %d keys want %d", n, p, len(gotKeys), len(wantKeys))
+			}
+			for i := range wantKeys {
+				if gotKeys[i] != wantKeys[i] {
+					t.Fatalf("n=%d p=%d: key %d got %d want %d", n, p, i, gotKeys[i], wantKeys[i])
+				}
+			}
+			if len(gotGroups) != len(wantGroups) {
+				t.Fatalf("n=%d p=%d: %d groups want %d", n, p, len(gotGroups), len(wantGroups))
+			}
+			for i := range wantGroups {
+				if gotGroups[i] != wantGroups[i] {
+					t.Fatalf("n=%d p=%d: group %d got %+v want %+v",
+						n, p, i, gotGroups[i], wantGroups[i])
+				}
+			}
+		}
+	}
+}
+
+func sortU64(ks []uint64) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+}
+
+// TestParallelPrepareLargeBatchMatchesOracle pushes batches big enough to
+// engage every parallel stage (pack, MSD sort, split dedup, dynamic apply)
+// and checks the final graph against the reference implementation and a
+// single-worker engine.
+func TestParallelPrepareLargeBatchMatchesOracle(t *testing.T) {
+	const nv = 1 << 13
+	rm := gen.NewRMatPaper(13, 99)
+	g1 := New(nv, Config{Workers: 1})
+	g8 := New(nv, Config{Workers: 8})
+	ref := refgraph.New(nv)
+	for round := 0; round < 3; round++ {
+		es := rm.Edges(120000)
+		src := make([]uint32, len(es))
+		dst := make([]uint32, len(es))
+		for i, e := range es {
+			src[i], dst[i] = e.Src, e.Dst
+			ref.Insert(e.Src, e.Dst)
+		}
+		g1.InsertBatch(src, dst)
+		g8.InsertBatch(src, dst)
+
+		// Delete a large slice of what was just inserted, plus misses.
+		del := es[:len(es)/2]
+		dsrc := make([]uint32, 0, len(del)+100)
+		ddst := make([]uint32, 0, len(del)+100)
+		for _, e := range del {
+			dsrc = append(dsrc, e.Src)
+			ddst = append(ddst, e.Dst)
+			ref.Delete(e.Src, e.Dst)
+		}
+		g1.DeleteBatch(dsrc, ddst)
+		g8.DeleteBatch(dsrc, ddst)
+	}
+	checkAgainstOracle(t, g8, ref)
+	checkAgainstOracle(t, g1, ref)
+}
+
+// TestPackKeysOutOfRangeParallel ensures the bounds panic survives the
+// parallel pack: it must surface on the caller's goroutine with the legacy
+// message even when the bad edge sits deep inside a large batch.
+func TestPackKeysOutOfRangeParallel(t *testing.T) {
+	const nv = 64
+	g := New(nv, Config{Workers: 8})
+	n := 3 * parPrepMin
+	src := make([]uint32, n)
+	dst := make([]uint32, n)
+	for i := range src {
+		src[i] = uint32(i % nv)
+		dst[i] = uint32((i * 7) % nv)
+	}
+	src[n-3], dst[n-3] = 9, 777 // out of range near the tail
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for out-of-range edge")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"edge (9,777)", "[0,64)", "EnsureVertices"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	g.InsertBatch(src, dst)
+}

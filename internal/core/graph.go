@@ -24,6 +24,12 @@ type Graph struct {
 	cfg     Config
 	treeCfg hitree.Config
 	stats   Stats
+
+	// Reusable update-path scratch. Updates are exclusive with each other,
+	// so one prepare arena per graph plus one apply arena per worker make
+	// steady-state batches allocation-free (see batch.go).
+	prep  prepScratch
+	apply []applyScratch
 }
 
 // New returns an empty engine with n vertex slots.

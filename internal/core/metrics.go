@@ -9,8 +9,10 @@ import "lsgraph/internal/obs"
 // unconditionally so one-off runs can read them from a Snapshot without
 // enabling collection.
 var (
+	obsPhasePack = obs.NewHistogram("lsgraph_batch_phase_nanos", `phase="pack"`, "ns",
+		"per-batch time validating endpoints and packing update keys")
 	obsPhaseSort = obs.NewHistogram("lsgraph_batch_phase_nanos", `phase="sort"`, "ns",
-		"per-batch time packing and sorting update keys")
+		"per-batch time sorting packed update keys")
 	obsPhaseGroup = obs.NewHistogram("lsgraph_batch_phase_nanos", `phase="group"`, "ns",
 		"per-batch time deduplicating and grouping by source vertex")
 	obsPhaseApply = obs.NewHistogram("lsgraph_batch_phase_nanos", `phase="apply"`, "ns",
@@ -31,6 +33,15 @@ var (
 		"per-vertex groups applied via merge-and-rebuild")
 	obsGroupsEdge = obs.NewCounter("lsgraph_batch_groups_total", `path="per-edge"`,
 		"per-vertex groups applied one edge at a time")
+
+	obsGroupSize = obs.NewHistogram("lsgraph_batch_group_size", "", "elements",
+		"deduplicated updates per source-vertex group (log2 buckets expose batch skew)")
+	obsPrepWorkers = obs.NewGauge("lsgraph_batch_prepare_workers", "",
+		"effective worker count of the most recent prepare pipeline")
+	obsScratchHit = obs.NewPerWorkerCounter("lsgraph_batch_scratch_total", `result="hit"`,
+		"bulk groups whose per-worker apply arena was already large enough, by worker")
+	obsScratchMiss = obs.NewPerWorkerCounter("lsgraph_batch_scratch_total", `result="miss"`,
+		"bulk groups that had to grow their per-worker apply arena, by worker")
 
 	obsPromoteArrRIA = obs.NewCounter("lsgraph_overflow_promotions_total", `from="array",to="ria"`,
 		"overflow structures promoted from sorted array to RIA")

@@ -9,7 +9,6 @@ package parallel
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +26,8 @@ var (
 		"statically assigned blocks processed, by worker")
 	obsBusy = obs.NewPerWorkerCounter("lsgraph_parallel_busy_nanos_total", "",
 		"nanoseconds spent inside loop bodies, by worker")
+	obsSteals = obs.NewPerWorkerCounter("lsgraph_parallel_steals_total", "",
+		"dynamic claims that deviate from a round-robin assignment, by worker")
 )
 
 // Procs is the default parallelism used by For and Sort when the caller
@@ -164,6 +165,69 @@ func ForBlockedW(nb, p int, f func(w, b int)) {
 	wg.Wait()
 }
 
+// ForDynamicW runs f(w, i) for every i in [0, n), workers claiming indexes
+// one at a time, in increasing order, from a shared counter. It is the
+// scheduling primitive for coarse, skewed work items — per-vertex update
+// groups ordered largest-first — where ForChunkW's fixed grain is too big
+// and ForBlockedW's static round-robin lets one expensive item serialize
+// its assigned worker's whole list. Each index is claimed by exactly one
+// worker, so callers that map indexes 1:1 to vertices keep the
+// one-vertex-one-worker invariant. With p <= 1 the indexes run in order on
+// the caller's goroutine.
+func ForDynamicW(n, p int, f func(w, i int)) {
+	if n <= 0 {
+		return
+	}
+	if p <= 0 {
+		p = Procs
+	}
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		t := obs.StartTimer()
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		if !t.IsZero() {
+			obsChunks.AddShard(0, uint64(n))
+			obsBusy.AddShard(0, uint64(time.Since(t)))
+		}
+		return
+	}
+	on := obs.Enabled()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var t time.Time
+			if on {
+				t = time.Now()
+			}
+			claims, steals := uint64(0), uint64(0)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				f(w, i)
+				claims++
+				if i%p != w {
+					steals++
+				}
+			}
+			if on {
+				obsChunks.AddShard(w, claims)
+				obsSteals.AddShard(w, steals)
+				obsBusy.AddShard(w, uint64(time.Since(t)))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // Run executes the given thunks concurrently and waits for all of them.
 func Run(fs ...func()) {
 	var wg sync.WaitGroup
@@ -175,54 +239,4 @@ func Run(fs ...func()) {
 		}(f)
 	}
 	wg.Wait()
-}
-
-// SortUint64 sorts ks ascending. Large inputs use an LSD radix sort
-// (every engine's batch updater sorts packed (src,dst) keys, so this is on
-// the critical path of every update figure); small inputs use the stdlib
-// comparison sort. The p parameter is accepted for call-site symmetry with
-// the other primitives; the radix passes are sequential (they are already
-// bandwidth-bound).
-func SortUint64(ks []uint64, p int) {
-	_ = p
-	if len(ks) >= 1<<12 {
-		radixSortUint64(ks)
-		return
-	}
-	sortUint64Seq(ks)
-}
-
-func sortUint64Seq(ks []uint64) {
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-}
-
-// radixSortUint64 is an 8-bit LSD radix sort, skipping passes whose byte is
-// constant across the input (common: high source-ID bytes are zero).
-func radixSortUint64(ks []uint64) {
-	buf := make([]uint64, len(ks))
-	src, dst := ks, buf
-	for shift := uint(0); shift < 64; shift += 8 {
-		var counts [256]int
-		for _, k := range src {
-			counts[k>>shift&0xff]++
-		}
-		if counts[src[0]>>shift&0xff] == len(src) {
-			continue // every key shares this byte
-		}
-		pos := 0
-		for i := range counts {
-			c := counts[i]
-			counts[i] = pos
-			pos += c
-		}
-		for _, k := range src {
-			b := k >> shift & 0xff
-			dst[counts[b]] = k
-			counts[b]++
-		}
-		src, dst = dst, src
-	}
-	if &src[0] != &ks[0] {
-		copy(ks, src)
-	}
 }

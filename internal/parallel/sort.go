@@ -1,0 +1,330 @@
+package parallel
+
+import (
+	"math/bits"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lsgraph/internal/obs"
+)
+
+// Sort-path metrics: which regime served each call, and whether the pooled
+// scratch arena could be reused without growing. Recorded only while obs
+// collection is enabled.
+var (
+	obsSortStdlib = obs.NewCounter("lsgraph_sort_total", `mode="stdlib"`,
+		"sorts served by the stdlib comparison sort (small inputs)")
+	obsSortRadix = obs.NewCounter("lsgraph_sort_total", `mode="radix"`,
+		"sorts served by the sequential LSD radix sort")
+	obsSortParallel = obs.NewCounter("lsgraph_sort_total", `mode="parallel"`,
+		"sorts served by the parallel MSD-partition radix sort")
+	obsSortScratchHit = obs.NewCounter("lsgraph_sort_scratch_total", `result="hit"`,
+		"radix sorts whose pooled scratch arena was already large enough")
+	obsSortScratchMiss = obs.NewCounter("lsgraph_sort_scratch_total", `result="miss"`,
+		"radix sorts that had to grow their scratch arena")
+)
+
+// Size thresholds of the three sort regimes. Below seqSortMin the stdlib
+// comparison sort wins (the input is cache-resident and counting passes
+// don't amortize); between seqSortMin and parSortMin the sequential LSD
+// radix wins (the passes are bandwidth-bound and fork-join overhead would
+// dominate); at parSortMin and above the parallel MSD partition pays off
+// whenever more than one worker is available.
+const (
+	seqSortMin = 1 << 12
+	parSortMin = 1 << 15
+	// parSortChunkMin bounds parallelism so every worker keeps at least
+	// this many keys per pass; smaller shares make per-worker histogram
+	// zeroing and fork-join latency visible.
+	parSortChunkMin = 1 << 14
+)
+
+// msdBits is the width of the most-significant digit the parallel sort
+// partitions on: 2^11 buckets spread even heavily skewed key distributions
+// (rMat vertex IDs cluster toward zero) while the per-worker histograms
+// stay L1-resident (2048 ints = 16 KiB).
+const (
+	msdBits    = 11
+	msdBuckets = 1 << msdBits
+)
+
+// sortArena bundles every buffer the radix sorts need so that one pool Get
+// amortizes them all and steady-state sorts allocate nothing. Arenas are
+// pooled rather than global because SortUint64 may be called from several
+// engines' update paths concurrently.
+type sortArena struct {
+	buf    []uint64   // scatter target / LSD swap space, len >= n
+	cnt    []int      // p x msdBuckets per-worker histograms -> write offsets
+	bstart []int      // per-bucket global start offset in buf
+	red    []uint64   // 2 slots per worker for the or/and bit reduction
+	ord    []uint64   // nonempty buckets packed size<<msdBits | bucket
+	lsd    [][]uint64 // per-worker swap space for the per-bucket LSD passes
+	grew   bool
+}
+
+var sortArenas = sync.Pool{New: func() any { return new(sortArena) }}
+
+func getSortArena(n int) *sortArena {
+	a := sortArenas.Get().(*sortArena)
+	a.grew = false
+	if cap(a.buf) < n {
+		a.buf = make([]uint64, n)
+		a.grew = true
+	}
+	return a
+}
+
+func putSortArena(a *sortArena) {
+	if obs.Enabled() {
+		if a.grew {
+			obsSortScratchMiss.Inc()
+		} else {
+			obsSortScratchHit.Inc()
+		}
+	}
+	sortArenas.Put(a)
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// SortUint64 sorts ks ascending using up to p workers (p <= 0 means
+// parallel.Procs). Every engine's batch updater sorts packed (src,dst)
+// keys, so this is on the critical path of every update figure. Small
+// inputs use the stdlib comparison sort; mid-size inputs a sequential LSD
+// radix; large inputs with p > 1 a parallel MSD partition into buckets that
+// are then radix-sorted independently, largest bucket first.
+func SortUint64(ks []uint64, p int) {
+	n := len(ks)
+	if n < seqSortMin {
+		if obs.Enabled() {
+			obsSortStdlib.Inc()
+		}
+		sortUint64Seq(ks)
+		return
+	}
+	if p <= 0 {
+		p = Procs
+	}
+	if p > n/parSortChunkMin {
+		p = n / parSortChunkMin
+	}
+	a := getSortArena(n)
+	defer putSortArena(a)
+	if p <= 1 || n < parSortMin {
+		if obs.Enabled() {
+			obsSortRadix.Inc()
+		}
+		radixSortBytes(ks, a.buf[:n], 8)
+		return
+	}
+	if obs.Enabled() {
+		obsSortParallel.Inc()
+	}
+	parallelRadixSort(ks, p, a)
+}
+
+func sortUint64Seq(ks []uint64) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+}
+
+// insertionSortUint64 handles tiny MSD buckets, where an LSD pass's
+// histograms would cost more than the sort itself.
+func insertionSortUint64(ks []uint64) {
+	for i := 1; i < len(ks); i++ {
+		k := ks[i]
+		j := i - 1
+		for j >= 0 && ks[j] > k {
+			ks[j+1] = ks[j]
+			j--
+		}
+		ks[j+1] = k
+	}
+}
+
+// radixSortBytes sorts ks by its low byteTop bytes with an 8-bit LSD radix,
+// using buf (same length) as swap space. Passes whose byte is constant
+// across the input are skipped (common: high source-ID bytes are zero). The
+// sorted result always ends up back in ks.
+func radixSortBytes(ks, buf []uint64, byteTop int) {
+	src, dst := ks, buf
+	for b := 0; b < byteTop; b++ {
+		shift := uint(b * 8)
+		var counts [256]int
+		for _, k := range src {
+			counts[k>>shift&0xff]++
+		}
+		if counts[src[0]>>shift&0xff] == len(src) {
+			continue // every key shares this byte
+		}
+		pos := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = pos
+			pos += c
+		}
+		for _, k := range src {
+			d := k >> shift & 0xff
+			dst[counts[d]] = k
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ks[0] {
+		copy(ks, src)
+	}
+}
+
+// runWorkers runs f(w) for w in [0, p), reusing the calling goroutine for
+// worker 0.
+func runWorkers(p int, f func(w int)) {
+	if p <= 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p - 1)
+	for w := 1; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	f(0)
+	wg.Wait()
+}
+
+// parallelRadixSort sorts ks with p >= 2 workers: an MSD partition on the
+// top varying bits scatters keys into 2^11 buckets (per-worker histograms
+// plus a stable per-worker scatter, so both passes are embarrassingly
+// parallel), then the buckets — which are independent, contiguous, and
+// already ordered relative to each other — are radix-sorted in parallel,
+// claimed dynamically largest-first so a skewed bucket starts immediately
+// rather than landing late on a busy worker.
+func parallelRadixSort(ks []uint64, p int, a *sortArena) {
+	n := len(ks)
+	buf := a.buf[:n]
+	a.red = growU64(a.red, 2*p)
+	red := a.red
+	// Contiguous worker ranges: worker w owns [wlo(w), wlo(w+1)).
+	wlo := func(w int) int { return w * n / p }
+
+	// Pass 1: which bits vary at all? (or/and reduction)
+	runWorkers(p, func(w int) {
+		or, and := uint64(0), ^uint64(0)
+		for _, k := range ks[wlo(w):wlo(w+1)] {
+			or |= k
+			and &= k
+		}
+		red[2*w], red[2*w+1] = or, and
+	})
+	or, and := uint64(0), ^uint64(0)
+	for w := 0; w < p; w++ {
+		or |= red[2*w]
+		and &= red[2*w+1]
+	}
+	varying := or ^ and
+	if varying == 0 {
+		return // all keys equal
+	}
+	// The MSD digit sits just below the highest varying bit, so the 2^11
+	// buckets always cover the actual key range (vertex spaces far smaller
+	// than 2^64 still spread across all buckets).
+	shift := 0
+	if l := bits.Len64(varying); l > msdBits {
+		shift = l - msdBits
+	}
+
+	// Pass 2: per-worker histograms of the MSD digit.
+	a.cnt = growInt(a.cnt, p*msdBuckets)
+	cnt := a.cnt
+	runWorkers(p, func(w int) {
+		c := cnt[w*msdBuckets : (w+1)*msdBuckets]
+		clear(c)
+		for _, k := range ks[wlo(w):wlo(w+1)] {
+			c[k>>shift&(msdBuckets-1)]++
+		}
+	})
+
+	// Exclusive prefix over (bucket, worker) turns the histograms into each
+	// worker's private write offsets; collect the nonempty buckets packed as
+	// size<<msdBits|bucket for the largest-first schedule.
+	a.bstart = growInt(a.bstart, msdBuckets)
+	bstart := a.bstart
+	ord := a.ord[:0]
+	pos := 0
+	for b := 0; b < msdBuckets; b++ {
+		start := pos
+		for w := 0; w < p; w++ {
+			c := &cnt[w*msdBuckets+b]
+			pos, *c = pos+*c, pos
+		}
+		bstart[b] = start
+		if sz := pos - start; sz > 0 {
+			ord = append(ord, uint64(sz)<<msdBits|uint64(b))
+		}
+	}
+	a.ord = ord
+
+	// Pass 3: stable scatter into buf; each worker writes only through its
+	// own offsets, so no two workers touch the same slot.
+	runWorkers(p, func(w int) {
+		off := cnt[w*msdBuckets : (w+1)*msdBuckets]
+		for _, k := range ks[wlo(w):wlo(w+1)] {
+			d := k >> shift & (msdBuckets - 1)
+			buf[off[d]] = k
+			off[d]++
+		}
+	})
+
+	// Pass 4: sort each bucket by the bytes below the MSD digit and copy it
+	// back to its final place in ks. Buckets are claimed dynamically from a
+	// shared counter over the descending-size order.
+	slices.Sort(ord)
+	byteTop := (shift + 7) / 8
+	if cap(a.lsd) < p {
+		a.lsd = make([][]uint64, p)
+	}
+	a.lsd = a.lsd[:p]
+	nb := len(ord)
+	var next atomic.Int64
+	runWorkers(p, func(w int) {
+		scratch := a.lsd[w]
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= nb {
+				break
+			}
+			e := ord[nb-1-i]
+			b := int(e & (msdBuckets - 1))
+			sz := int(e >> msdBits)
+			lo := bstart[b]
+			seg := buf[lo : lo+sz]
+			if sz > 1 && byteTop > 0 {
+				if sz <= 32 {
+					insertionSortUint64(seg)
+				} else {
+					if cap(scratch) < sz {
+						scratch = make([]uint64, sz)
+					}
+					radixSortBytes(seg, scratch[:sz], byteTop)
+				}
+			}
+			copy(ks[lo:lo+sz], seg)
+		}
+		a.lsd[w] = scratch
+	})
+}

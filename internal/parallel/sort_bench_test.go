@@ -1,0 +1,32 @@
+package parallel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSortUint64 covers the three sort regimes across worker counts.
+// The per-iteration copy re-randomizes the input; its cost is identical
+// across p so relative scaling is preserved.
+func BenchmarkSortUint64(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 17, 1 << 20} {
+		base := make([]uint64, n)
+		for i := range base {
+			// Packed-edge-like keys: skewed 20-bit source, random destination.
+			base[i] = uint64(rng.Intn(1<<20))<<32 | uint64(rng.Uint32())
+		}
+		ks := make([]uint64, n)
+		for _, p := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/p=%d", n, p), func(b *testing.B) {
+				b.SetBytes(int64(8 * n))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					copy(ks, base)
+					SortUint64(ks, p)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+// sortInputs generates one input per distribution shape the radix paths
+// care about: uniform random, power-law-skewed low keys (rMat vertex IDs),
+// all-equal, already sorted, reversed, heavy duplicates, and a narrow key
+// range that leaves most MSD buckets empty.
+func sortInputs(rng *rand.Rand, n int) map[string][]uint64 {
+	in := map[string][]uint64{}
+	u := make([]uint64, n)
+	for i := range u {
+		u[i] = rng.Uint64()
+	}
+	in["uniform"] = u
+
+	skew := make([]uint64, n)
+	for i := range skew {
+		// Cluster toward zero like rMat source IDs packed high.
+		skew[i] = uint64(rng.ExpFloat64()*float64(n)) << 32
+	}
+	in["skewed"] = skew
+
+	eq := make([]uint64, n)
+	for i := range eq {
+		eq[i] = 0xdeadbeef
+	}
+	in["all-equal"] = eq
+
+	sorted := make([]uint64, n)
+	for i := range sorted {
+		sorted[i] = uint64(i) * 3
+	}
+	in["sorted"] = sorted
+
+	rev := make([]uint64, n)
+	for i := range rev {
+		rev[i] = uint64(n - i)
+	}
+	in["reversed"] = rev
+
+	dup := make([]uint64, n)
+	for i := range dup {
+		dup[i] = uint64(rng.Intn(16))
+	}
+	in["duplicates"] = dup
+
+	narrow := make([]uint64, n)
+	for i := range narrow {
+		narrow[i] = 1<<40 + uint64(rng.Intn(512))
+	}
+	in["narrow"] = narrow
+	return in
+}
+
+// TestSortUint64MatchesStdlib is the property test of the satellite task:
+// every size regime (stdlib, sequential radix, parallel MSD) times every
+// parallelism times every distribution must match sort.Slice exactly.
+func TestSortUint64MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{0, 1, 2, 33, seqSortMin - 1, seqSortMin, parSortMin - 1,
+		parSortMin, parSortMin + 4097, 1 << 17}
+	for _, n := range sizes {
+		for dist, base := range sortInputs(rng, n) {
+			want := append([]uint64(nil), base...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for _, p := range []int{1, 2, 4, 8} {
+				got := append([]uint64(nil), base...)
+				SortUint64(got, p)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d dist=%s p=%d: mismatch at %d: got %d want %d",
+							n, dist, p, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortUint64ParallelPathDirect drives parallelRadixSort directly so the
+// parallel path is exercised even when SortUint64's chunk-size cap would
+// route a mid-size input to the sequential radix.
+func TestSortUint64ParallelPathDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for dist, base := range sortInputs(rng, 1<<15) {
+		want := append([]uint64(nil), base...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, p := range []int{2, 3, 8} {
+			got := append([]uint64(nil), base...)
+			a := getSortArena(len(got))
+			parallelRadixSort(got, p, a)
+			putSortArena(a)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dist=%s p=%d: mismatch at %d: got %d want %d",
+						dist, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRadixSortBytesPartialWidth(t *testing.T) {
+	// byteTop < 8 must still fully sort keys whose high bytes are equal.
+	rng := rand.New(rand.NewSource(13))
+	ks := make([]uint64, 5000)
+	for i := range ks {
+		ks[i] = 7<<24 | uint64(rng.Intn(1<<24))
+	}
+	want := append([]uint64(nil), ks...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	buf := make([]uint64, len(ks))
+	radixSortBytes(ks, buf, 3)
+	for i := range ks {
+		if ks[i] != want[i] {
+			t.Fatalf("mismatch at %d: got %d want %d", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestForDynamicWCoversEachIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		for _, n := range []int{0, 1, 3, 100, 4096} {
+			seen := make([]int32, n)
+			ForDynamicW(n, p, func(w, i int) {
+				if w < 0 || w >= p {
+					t.Errorf("p=%d: worker %d out of range", p, w)
+				}
+				atomic.AddInt32(&seen[i], 1)
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("p=%d n=%d: index %d visited %d times", p, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForDynamicWSequentialInOrder(t *testing.T) {
+	var got []int
+	ForDynamicW(50, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("p=1 used worker %d", w)
+		}
+		got = append(got, i)
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("p=1 out of order at %d: %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh -- run the update/analytics benchmark sweep and record ns/op per
+# benchmark in BENCH_<tag>.json, the repo's performance-trajectory record.
+#
+# Usage: scripts/bench.sh [tag]     (default tag: pr2; or: make bench)
+# Env:   BENCHTIME=10x  pass a different -benchtime (default 1x, a smoke
+#        pace -- raise it for trustworthy numbers).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tag="${1:-pr2}"
+benchtime="${BENCHTIME:-1x}"
+out="BENCH_${tag}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# The packages that define the engine's perf story: the end-to-end update
+# and analytics wrappers (root), the batch pipeline (core), the parallel
+# sort (parallel), and the overflow structures.
+for pkg in . ./internal/core ./internal/parallel ./internal/ria ./internal/hitree ./internal/pma; do
+	go test -run '^$' -bench . -benchtime "$benchtime" "$pkg"
+done | tee /dev/stderr > "$raw"
+
+awk -v tag="$tag" '
+	$2 ~ /^[0-9]+$/ && $4 == "ns/op" {
+		name = $1
+		sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+		if (!(name in ns)) order[n++] = name
+		ns[name] = $3
+	}
+	END {
+		printf "{\n  \"tag\": \"%s\",\n  \"unit\": \"ns/op\",\n  \"benchmarks\": {\n", tag
+		for (i = 0; i < n; i++) {
+			name = order[i]
+			printf "    \"%s\": %s%s\n", name, ns[name], (i < n-1 ? "," : "")
+		}
+		printf "  }\n}\n"
+	}
+' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c ':' "$out") lines)"

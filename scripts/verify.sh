@@ -27,4 +27,7 @@ go test ./...
 echo "== go test -race (core, parallel, obs)"
 go test -race lsgraph/internal/core lsgraph/internal/parallel lsgraph/internal/obs
 
+echo "== benchmark smoke (-benchtime 1x)"
+go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
+
 echo "verify: OK"
