@@ -11,9 +11,10 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with real cross-goroutine traffic:
-# the batch pipeline, the worker pool, and the sharded metrics registry.
+# the serving layer, the batch pipeline, the worker pool, and the sharded
+# metrics registry.
 race:
-	$(GO) test -race lsgraph/internal/core lsgraph/internal/parallel lsgraph/internal/obs
+	$(GO) test -race lsgraph/internal/serve lsgraph/internal/core lsgraph/internal/parallel lsgraph/internal/obs
 
 verify:
 	sh scripts/verify.sh

@@ -3,66 +3,82 @@ package lsgraph
 import "lsgraph/internal/incr"
 
 // IncrementalCC maintains connected-component labels across update
-// batches: after InsertEdges, call OnInsert with the same batch; after
-// DeleteEdges, call OnDelete. Insertions propagate only from touched
-// vertices; deletions that may split a component fall back to a full
-// recomputation.
+// batches, the streaming usage mode the paper's §3.1 motivates: after
+// InsertEdges, call OnInsert with the same batch; after DeleteEdges, call
+// OnDelete. Insertions propagate labels only from touched vertices;
+// deletions that may split a component fall back to a full recomputation
+// (counted by Recomputes). The maintainer reads the graph, so its calls
+// follow the same phase-alternation contract as other reads: not
+// concurrent with updates.
 type IncrementalCC struct {
 	cc *incr.CC
 }
 
-// NewIncrementalCC computes initial labels for g.
+// NewIncrementalCC computes initial component labels for g and returns a
+// maintainer bound to it.
 func NewIncrementalCC(g *Graph) *IncrementalCC {
 	return &IncrementalCC{cc: incr.NewCC(g.g, 0)}
 }
 
-// Labels returns current component labels (do not mutate).
+// Labels returns the current component labels, indexed by vertex: each
+// vertex maps to the smallest vertex ID in its component. Callers must
+// not mutate the slice.
 func (c *IncrementalCC) Labels() []uint32 { return c.cc.Labels() }
 
-// Same reports whether u and v are in one component.
+// Same reports whether u and v are currently in one component.
 func (c *IncrementalCC) Same(u, v uint32) bool { return c.cc.Same(u, v) }
 
-// OnInsert updates labels after g ingested the given insertions.
+// OnInsert updates labels after g ingested the given insertions. The
+// batch must be the one passed to InsertEdges, and g must already contain
+// it.
 func (c *IncrementalCC) OnInsert(es []Edge) {
 	src, dst := split(es)
 	c.cc.OnInsert(src, dst)
 }
 
-// OnDelete updates labels after g ingested the given deletions.
+// OnDelete updates labels after g ingested the given deletions. A
+// deletion that may have split a component triggers a full recomputation.
 func (c *IncrementalCC) OnDelete(es []Edge) {
 	src, dst := split(es)
 	c.cc.OnDelete(src, dst)
 }
 
-// Recomputes returns how many deletions forced a full recomputation.
+// Recomputes returns how many deletion batches forced a full
+// recomputation instead of an incremental repair.
 func (c *IncrementalCC) Recomputes() int { return c.cc.Recomputes }
 
 // IncrementalBFS maintains hop distances from a fixed source across
-// update batches, with the same OnInsert/OnDelete contract as
-// IncrementalCC.
+// update batches, with the same OnInsert/OnDelete contract and
+// phase-alternation requirements as IncrementalCC.
 type IncrementalBFS struct {
 	b *incr.BFS
 }
 
-// NewIncrementalBFS computes initial depths from src.
+// NewIncrementalBFS computes initial hop depths from src and returns a
+// maintainer bound to g.
 func NewIncrementalBFS(g *Graph, src uint32) *IncrementalBFS {
 	return &IncrementalBFS{b: incr.NewBFS(g.g, src, 0)}
 }
 
-// Depths returns current hop distances, -1 for unreached (do not mutate).
+// Depths returns the current hop distances from the source, -1 for
+// unreached vertices. Callers must not mutate the slice.
 func (b *IncrementalBFS) Depths() []int32 { return b.b.Depths() }
 
-// OnInsert updates depths after g ingested the given insertions.
+// OnInsert updates depths after g ingested the given insertions; only
+// vertices whose distance can shrink are revisited.
 func (b *IncrementalBFS) OnInsert(es []Edge) {
 	src, dst := split(es)
 	b.b.OnInsert(src, dst)
 }
 
-// OnDelete updates depths after g ingested the given deletions.
+// OnDelete updates depths after g ingested the given deletions. A
+// deletion that may lengthen a shortest path triggers a full
+// recomputation.
 func (b *IncrementalBFS) OnDelete(es []Edge) {
 	src, dst := split(es)
 	b.b.OnDelete(src, dst)
 }
 
-// Recomputes returns how many deletions forced a full recomputation.
+// Recomputes returns how many deletion batches forced a full
+// recomputation instead of an incremental repair.
 func (b *IncrementalBFS) Recomputes() int { return b.b.Recomputes }

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"lsgraph/internal/algo"
+	"lsgraph/internal/core"
+	"lsgraph/internal/serve"
+)
+
+// mixedBatches is how many update batches the ingest side streams per
+// measured cell; enough that analytics runs overlap many epochs.
+const mixedBatches = 24
+
+// Mixed reproduces the paper's interleaved streaming setting (§6): batch
+// updates and analytics running at the same time, which the bare engine's
+// phase-alternating contract cannot express. A Store ingests a stream of
+// update batches through its writer goroutine while two reader goroutines
+// continuously pin epoch views and run PageRank and BFS on them. The
+// report gives ingest throughput under analytics load, each kernel's
+// latency on an idle store versus a live one (the concurrency tax), how
+// many analytics runs completed during ingestion, and the serving-layer
+// counters (epochs published, batches coalesced under backpressure,
+// snapshots reclaimed).
+func Mixed(s Scale, w io.Writer) {
+	t := NewTable("Mixed workload: concurrent ingest + analytics on a live Store (§6 interleaved setting)",
+		"Ingest-eps is update throughput with kernels running; pr/bfs-idle vs -live is each kernel's latency without/with concurrent ingest.",
+		"batch", "ingest-eps", "pr-idle", "pr-live", "pr-runs", "bfs-idle", "bfs-live", "bfs-runs",
+		"epochs", "coalesced", "reclaimed")
+	d, _ := MakeDataset("LJ-sim", s)
+	src, dst := Split(d.Edges)
+	cut := len(src) * 9 / 10
+	workers := s.Workers
+
+	for _, b := range s.BatchSizes {
+		if b > len(d.Edges) {
+			continue
+		}
+		g := core.New(d.N, core.Config{Workers: workers})
+		g.InsertBatch(src[:cut], dst[:cut])
+		st := serve.New(g, serve.Options{})
+
+		// Idle baselines: kernel latency on a pinned view with no
+		// concurrent ingestion.
+		v := st.View()
+		prIdle := timeIt(s.Trials, func() { algo.PageRank(v, 5, workers) })
+		bfsIdle := timeIt(s.Trials, func() { algo.BFS(v, 0, workers) })
+		v.Release()
+
+		// Live run: one goroutine streams batches, two run kernels on
+		// pinned views until ingestion completes.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var prRuns, bfsRuns int
+		var prTotal, bfsTotal time.Duration
+		reader := func(runs *int, total *time.Duration, kernel func(g *serve.View)) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pin := st.View()
+				t0 := time.Now()
+				kernel(pin)
+				*total += time.Since(t0)
+				*runs++
+				pin.Release()
+			}
+		}
+		wg.Add(2)
+		go reader(&prRuns, &prTotal, func(g *serve.View) { algo.PageRank(g, 5, workers) })
+		go reader(&bfsRuns, &bfsTotal, func(g *serve.View) { algo.BFS(g, 0, workers) })
+
+		t0 := time.Now()
+		for k := 0; k < mixedBatches; k++ {
+			bs, bd := d.UpdateBatch(b, k)
+			st.InsertBatch(bs, bd)
+		}
+		st.Flush()
+		ingest := time.Since(t0)
+		close(stop)
+		wg.Wait()
+
+		stats := st.Stats()
+		epoch := st.Epoch()
+		st.Close()
+
+		mean := func(total time.Duration, runs int) interface{} {
+			if runs == 0 {
+				return "-"
+			}
+			return total / time.Duration(runs)
+		}
+		t.Row(b, throughput(b*mixedBatches, ingest),
+			prIdle, mean(prTotal, prRuns), prRuns,
+			bfsIdle, mean(bfsTotal, bfsRuns), bfsRuns,
+			epoch, stats.CoalescedBatches, stats.SnapshotsReclaimed)
+	}
+	t.WriteTo(w)
+}

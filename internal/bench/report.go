@@ -99,7 +99,7 @@ func throughput(edges int, d time.Duration) float64 {
 var Experiments = []string{
 	"fig3", "fig4", "fig12", "deletions", "smallbatch", "ablation",
 	"fig13", "table2", "table3", "fig14", "fig15", "fig16", "fig17",
-	"streaming", "graph500", "kcore", "sortledton", "prepare",
+	"streaming", "graph500", "kcore", "sortledton", "prepare", "mixed",
 }
 
 // Run executes one named experiment at the given scale, writing its report
@@ -142,6 +142,8 @@ func Run(name string, s Scale, w io.Writer) error {
 		Sortledton(s, w)
 	case "prepare":
 		Prepare(s, w)
+	case "mixed":
+		Mixed(s, w)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %s)",
 			name, strings.Join(Experiments, ", "))

@@ -13,21 +13,50 @@ type Snapshot struct {
 	adj  []uint32
 }
 
-// Snapshot flattens the current graph. It must not run concurrently with
-// updates; the returned view may then be read concurrently with anything.
-func (g *Graph) Snapshot() *Snapshot {
+// Snapshot flattens the current graph into a fresh CSR view. The call
+// itself must be serialized with updates — take it between batches, or let
+// internal/serve's single-writer Store do that for you (its writer
+// republishes after every applied batch, which is how concurrent
+// ingest+analytics is obtained). The returned view is immutable and may be
+// read concurrently with anything, including further updates to g.
+func (g *Graph) Snapshot() *Snapshot { return g.SnapshotInto(nil) }
+
+// SnapshotInto flattens the current graph into s, reusing s's buffers when
+// their capacity allows, and returns the populated snapshot (s itself, or
+// a fresh Snapshot if s is nil). It is the allocation-free republish path
+// for callers that repeatedly snapshot an evolving graph: hand back a
+// snapshot no reader uses anymore and steady-state flattening allocates
+// nothing (BenchmarkSnapshotInto measures the drop).
+//
+// Like Snapshot, the call must be serialized with updates. The previous
+// contents of s are overwritten; callers must ensure no concurrent reader
+// still holds s — the epoch-drain protocol in internal/serve exists to
+// prove exactly that.
+func (g *Graph) SnapshotInto(s *Snapshot) *Snapshot {
+	if s == nil {
+		s = &Snapshot{}
+	}
 	n := int(g.NumVertices())
-	s := &Snapshot{offs: make([]uint64, n+1)}
+	if cap(s.offs) >= n+1 {
+		s.offs = s.offs[:n+1]
+	} else {
+		s.offs = make([]uint64, n+1)
+	}
+	s.offs[0] = 0
 	for v := 0; v < n; v++ {
 		s.offs[v+1] = s.offs[v] + uint64(g.verts[v].deg)
 	}
-	s.adj = make([]uint32, s.offs[n])
+	m := s.offs[n]
+	if uint64(cap(s.adj)) >= m {
+		s.adj = s.adj[:m]
+	} else {
+		s.adj = make([]uint32, m)
+	}
 	parallel.For(n, g.cfg.Workers, func(v int) {
-		w := s.offs[v]
-		g.ForEachNeighbor(uint32(v), func(u uint32) {
-			s.adj[w] = u
-			w++
-		})
+		// Append into the pre-sized CSR segment for v; the full-slice
+		// expression pins capacity so a degree mismatch fails loudly
+		// instead of clobbering v+1's segment.
+		g.AppendNeighbors(uint32(v), s.adj[s.offs[v]:s.offs[v]:s.offs[v+1]])
 	})
 	return s
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"lsgraph/internal/gen"
+)
+
+// benchGraph builds a loaded graph for the snapshot benchmarks.
+func benchGraph(b *testing.B, workers int) *Graph {
+	b.Helper()
+	g := New(1<<12, Config{Workers: workers})
+	es := gen.Symmetrize(gen.NewRMatPaper(12, 9).Edges(60_000))
+	src := make([]uint32, len(es))
+	dst := make([]uint32, len(es))
+	for i, e := range es {
+		src[i], dst[i] = e.Src, e.Dst
+	}
+	g.InsertBatch(src, dst)
+	return g
+}
+
+// BenchmarkSnapshot is the allocate-every-call baseline: what the Store's
+// republish loop would pay without the reuse path.
+func BenchmarkSnapshot(b *testing.B) {
+	g := benchGraph(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Snapshot()
+	}
+}
+
+// BenchmarkSnapshotInto is the steady-state republish path: flattening
+// into a warm snapshot. Compare allocs/op against BenchmarkSnapshot — the
+// offs/adj allocations disappear entirely.
+func BenchmarkSnapshotInto(b *testing.B) {
+	g := benchGraph(b, 0)
+	s := g.Snapshot() // warm buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = g.SnapshotInto(s)
+	}
+}

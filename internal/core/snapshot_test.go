@@ -60,6 +60,56 @@ func TestSnapshotIsImmutableView(t *testing.T) {
 	}
 }
 
+// TestSnapshotIntoReuse checks that the reuse path produces the same view
+// as a fresh Snapshot and that steady-state republishing (same-or-smaller
+// graph into a warm snapshot) allocates nothing.
+func TestSnapshotIntoReuse(t *testing.T) {
+	g := New(1<<10, Config{Workers: 1})
+	es := gen.Symmetrize(gen.NewRMatPaper(10, 7).Edges(4000))
+	src := make([]uint32, len(es))
+	dst := make([]uint32, len(es))
+	for i, e := range es {
+		src[i], dst[i] = e.Src, e.Dst
+	}
+	g.InsertBatch(src, dst)
+
+	want := g.Snapshot()
+	reuse := g.Snapshot() // warm buffers to overwrite
+	got := g.SnapshotInto(reuse)
+	if got != reuse {
+		t.Fatal("SnapshotInto did not return the reused snapshot")
+	}
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("reused snapshot header mismatch: %d/%d vs %d/%d",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	for v := uint32(0); v < want.NumVertices(); v++ {
+		a, b := want.Neighbors(v), got.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree mismatch", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d neighbor mismatch", v)
+			}
+		}
+	}
+
+	// Steady state: flattening into warm buffers must not allocate any
+	// data buffers. A fixed handful of closure headers from the
+	// parallel-for plumbing is allowed; anything growing with the graph
+	// (the fresh-Snapshot path allocates thousands here) is a regression.
+	if allocs := testing.AllocsPerRun(10, func() { g.SnapshotInto(reuse) }); allocs > 4 {
+		t.Fatalf("SnapshotInto allocated %.0f objects per run in steady state", allocs)
+	}
+
+	// SnapshotInto(nil) is Snapshot.
+	fresh := g.SnapshotInto(nil)
+	if fresh.NumEdges() != want.NumEdges() {
+		t.Fatal("SnapshotInto(nil) mismatch")
+	}
+}
+
 func TestDeleteVertex(t *testing.T) {
 	g := New(64, Config{})
 	// Symmetric star around 5 plus a side edge.

@@ -1,0 +1,23 @@
+package serve
+
+import "lsgraph/internal/obs"
+
+// Serving-layer metrics (internal/obs registry). All recording is gated on
+// obs.Enabled(); the Store also keeps always-on plain-atomic counters
+// (Stats) for benchmarks that run with collection off.
+var (
+	obsQueueDepth = obs.NewGauge("lsgraph_store_queue_depth", "",
+		"update batches queued for the writer goroutine")
+	obsCoalesced = obs.NewCounter("lsgraph_store_coalesced_total", "",
+		"enqueued batches merged into a queued same-op batch under backpressure")
+	obsApplied = obs.NewCounter("lsgraph_store_batches_applied_total", "",
+		"update batches applied by the writer goroutine")
+	obsPublish = obs.NewHistogram("lsgraph_store_publish_nanos", "", "ns",
+		"per-publish snapshot latency: parallel flatten + epoch swap + reclaim scan")
+	obsEpochLag = obs.NewGauge("lsgraph_store_epoch_lag", "",
+		"epochs between the newest snapshot and the oldest still pinned by a reader")
+	obsReclaims = obs.NewCounter("lsgraph_store_snapshots_reclaimed_total", "",
+		"retired snapshots whose epoch drained and whose buffers were recycled")
+	obsSnapReuse = obs.NewCounter("lsgraph_store_snapshot_reuse_total", "",
+		"publishes that reused a reclaimed snapshot's buffers instead of allocating")
+)

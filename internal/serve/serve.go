@@ -1,0 +1,484 @@
+// Package serve is LSGraph's concurrent serving layer: a single-writer /
+// multi-reader Store that lets batch updates and analytics run at the same
+// time — the paper's interleaved streaming setting (§6), which the bare
+// core.Graph cannot provide because its updates require exclusive access.
+//
+// Design, in one paragraph: all InsertBatch/DeleteBatch calls enqueue into
+// a bounded queue drained by one writer goroutine, so the engine's
+// updates-are-exclusive contract holds by construction; under backpressure
+// the queue degrades gracefully by merging same-op batches instead of
+// blocking callers. After every applied batch the writer flattens the
+// graph into an immutable core.Snapshot (reusing a reclaimed snapshot's
+// buffers when capacity allows, flattening in parallel) and publishes it
+// with one atomic pointer swap. Readers pin the published snapshot with an
+// epoch-refcount protocol that is two atomic adds per acquire, run any
+// analytics kernel on the pinned view, and release; a retired snapshot's
+// buffers are recycled only once its epoch has drained (refcount zero
+// observed after it stopped being current). Aspen gets this concurrency
+// from purely functional trees and LSMGraph from versioned multi-level
+// CSRs; the Store gets it from epoch-pinned CSR snapshots over the
+// locality-centric live graph.
+//
+// Memory ordering: correctness of reclamation rests on Go's
+// sequentially-consistent atomics. A reader acquires with
+//
+//	e := cur.Load(); e.refs.Add(1); if cur.Load() == e { pinned }
+//
+// and the writer recycles a retired e only after observing refs == 0
+// *after* the swap that retired it. If the writer's refs read missed a
+// concurrent Add, that Add is ordered after the read, hence after the
+// swap, so the reader's recheck load sees the new current snapshot, fails,
+// decrements, and retries without ever dereferencing the recycled buffers.
+// A retired snapshot can never pass the recheck because each publish
+// allocates a fresh epoch descriptor and epochs only move forward.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lsgraph/internal/core"
+	"lsgraph/internal/engine"
+	"lsgraph/internal/obs"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MaxQueue is the soft bound on queued update batches. Once the queue
+	// holds MaxQueue entries, a new batch whose op matches the newest
+	// queued entry is merged into it (set semantics make concatenation of
+	// same-op batches equivalent to applying them back to back) instead of
+	// growing the queue; callers are never blocked. Default 64.
+	MaxQueue int
+	// MaxFree bounds the pool of reclaimed snapshots kept for buffer
+	// reuse by the republish loop. Default 4.
+	MaxFree int
+}
+
+func (o *Options) sanitize() {
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	if o.MaxFree <= 0 {
+		o.MaxFree = 4
+	}
+}
+
+// Batch ops queued for the writer. opFlush is a sentinel whose position in
+// the queue marks a Flush call's happens-after point.
+const (
+	opInsert = iota
+	opDelete
+	opFlush
+)
+
+// pending is one queued update batch (or flush sentinel). src/dst are
+// owned by the Store: enqueue copies the caller's slices so the caller may
+// reuse its buffers immediately.
+type pending struct {
+	op       int
+	src, dst []uint32
+	done     chan struct{} // flush sentinel only
+}
+
+// epochSnap is one published snapshot with its epoch and reader refcount.
+// refs counts pinned readers; the snapshot's buffers are recycled only
+// after it has been retired (a newer epoch swapped in) and refs has
+// drained to zero.
+type epochSnap struct {
+	snap  *core.Snapshot
+	epoch uint64
+	refs  atomic.Int64
+}
+
+// testHookBeforeApply, when non-nil, runs on the writer goroutine before
+// each batch is applied. Tests use it to hold the writer mid-drain and
+// exercise queue coalescing deterministically.
+var testHookBeforeApply func()
+
+// Store is the single-writer / multi-reader serving layer over one
+// core.Graph. Updates (InsertBatch, DeleteBatch) enqueue and return
+// immediately; reads always succeed against the most recently published
+// snapshot. Store implements engine.Graph and engine.Update, so every
+// analytics kernel and the benchmark harness run on a live Store
+// unmodified.
+//
+// Store's own read methods pin and release the current snapshot per call:
+// they are individually consistent but successive calls may observe
+// different epochs. A kernel that needs one coherent graph for its whole
+// run should acquire a View and run against that.
+type Store struct {
+	g   *core.Graph
+	opt Options
+
+	mu     sync.Mutex
+	queue  []pending
+	closed bool
+
+	wake chan struct{} // cap 1; tokens coalesce
+	done chan struct{} // closed when the writer exits
+
+	cur atomic.Pointer[epochSnap]
+
+	// Writer-goroutine-owned state: snapshots retired but not yet
+	// drained, and drained snapshots retained for buffer reuse.
+	retired []*epochSnap
+	free    []*core.Snapshot
+
+	stats struct {
+		batchesApplied     atomic.Uint64
+		edgesEnqueued      atomic.Uint64
+		coalescedBatches   atomic.Uint64
+		snapshotsPublished atomic.Uint64
+		snapshotsReclaimed atomic.Uint64
+		snapshotReuses     atomic.Uint64
+	}
+}
+
+// Compile-time interface checks: kernels written against engine.Graph run
+// on a live Store or a pinned View without modification.
+var (
+	_ engine.Graph  = (*Store)(nil)
+	_ engine.Update = (*Store)(nil)
+	_ engine.Graph  = (*View)(nil)
+)
+
+// New wraps g in a Store and starts its writer goroutine. The Store takes
+// ownership of g: the caller must not call any method on g afterwards.
+// The initial state of g is published immediately as epoch 0, so reads
+// never wait for a first batch.
+func New(g *core.Graph, opt Options) *Store {
+	opt.sanitize()
+	s := &Store{
+		g:    g,
+		opt:  opt,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	s.publish()
+	go s.writer()
+	return s
+}
+
+// InsertBatch enqueues the directed edges (src[i] -> dst[i]) for
+// insertion and returns without waiting for them to apply. The slices are
+// copied; the caller may reuse them immediately. Call Flush to wait for
+// the batch to become visible to readers.
+func (s *Store) InsertBatch(src, dst []uint32) { s.enqueue(opInsert, src, dst) }
+
+// DeleteBatch enqueues the directed edges for deletion, with the same
+// asynchronous contract as InsertBatch. Order between enqueued batches is
+// preserved, so an insert followed by a delete of the same edge leaves it
+// absent.
+func (s *Store) DeleteBatch(src, dst []uint32) { s.enqueue(opDelete, src, dst) }
+
+func (s *Store) enqueue(op int, src, dst []uint32) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("serve: src/dst length mismatch (%d vs %d); every edge needs both endpoints",
+			len(src), len(dst)))
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("serve: update on closed Store")
+	}
+	if n := len(s.queue); n >= s.opt.MaxQueue && s.queue[n-1].op == op {
+		// Backpressure: merge into the newest queued batch of the same op
+		// rather than growing the queue or blocking the caller.
+		last := &s.queue[n-1]
+		last.src = append(last.src, src...)
+		last.dst = append(last.dst, dst...)
+		s.stats.coalescedBatches.Add(1)
+		if obs.Enabled() {
+			obsCoalesced.Inc()
+		}
+	} else {
+		s.queue = append(s.queue, pending{
+			op:  op,
+			src: append([]uint32(nil), src...),
+			dst: append([]uint32(nil), dst...),
+		})
+	}
+	s.stats.edgesEnqueued.Add(uint64(len(src)))
+	if obs.Enabled() {
+		obsQueueDepth.Set(int64(len(s.queue)))
+	}
+	s.mu.Unlock()
+	s.signal()
+}
+
+// signal wakes the writer; the buffered token coalesces repeated signals.
+func (s *Store) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Flush blocks until every update enqueued before the call has been
+// applied and published. Updates enqueued concurrently with Flush may or
+// may not be included.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	ch := make(chan struct{})
+	s.queue = append(s.queue, pending{op: opFlush, done: ch})
+	s.mu.Unlock()
+	s.signal()
+	<-ch
+}
+
+// Close drains the queue, applies and publishes any remaining batches,
+// stops the writer goroutine, and waits for it to exit. Updates must not
+// be enqueued concurrently with or after Close; they panic. Views acquired
+// before Close stay valid (snapshots are immutable and GC-managed).
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.signal()
+	<-s.done
+}
+
+// writer is the single goroutine that applies updates and publishes
+// snapshots. It drains the whole queue each cycle, applying each entry as
+// one engine batch and republishing after each, so readers observe every
+// applied batch as its own epoch.
+func (s *Store) writer() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		q := s.queue
+		s.queue = nil
+		closed := s.closed
+		s.mu.Unlock()
+		if len(q) == 0 {
+			if closed {
+				s.reclaim()
+				return
+			}
+			<-s.wake
+			continue
+		}
+		for i := range q {
+			b := &q[i]
+			if b.op == opFlush {
+				close(b.done)
+				continue
+			}
+			if testHookBeforeApply != nil {
+				testHookBeforeApply()
+			}
+			if b.op == opInsert {
+				s.g.InsertBatch(b.src, b.dst)
+			} else {
+				s.g.DeleteBatch(b.src, b.dst)
+			}
+			s.stats.batchesApplied.Add(1)
+			if obs.Enabled() {
+				obsApplied.Inc()
+			}
+			s.publish()
+			q[i] = pending{} // release the copied batch for GC
+		}
+	}
+}
+
+// publish flattens the live graph into a snapshot (reusing a drained
+// snapshot's buffers when available), swaps it in as the new epoch, and
+// retires the previous one. Writer goroutine only (and New, before the
+// writer starts).
+func (s *Store) publish() {
+	t := obs.StartTimer()
+	var reuse *core.Snapshot
+	if n := len(s.free); n > 0 {
+		reuse = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		s.stats.snapshotReuses.Add(1)
+		if obs.Enabled() {
+			obsSnapReuse.Inc()
+		}
+	}
+	var next uint64
+	if old := s.cur.Load(); old != nil {
+		next = old.epoch + 1
+	}
+	e := &epochSnap{snap: s.g.SnapshotInto(reuse), epoch: next}
+	if old := s.cur.Swap(e); old != nil {
+		s.retired = append(s.retired, old)
+	}
+	s.stats.snapshotsPublished.Add(1)
+	s.reclaim()
+	obsPublish.ObserveSince(t)
+}
+
+// reclaim recycles retired snapshots whose epoch has drained (refcount
+// zero observed after retirement; see the package comment for why that
+// observation is safe). Writer goroutine only.
+func (s *Store) reclaim() {
+	kept := s.retired[:0]
+	for _, e := range s.retired {
+		if e.refs.Load() == 0 {
+			if len(s.free) < s.opt.MaxFree {
+				s.free = append(s.free, e.snap)
+			}
+			e.snap = nil
+			s.stats.snapshotsReclaimed.Add(1)
+			if obs.Enabled() {
+				obsReclaims.Inc()
+			}
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(s.retired); i++ {
+		s.retired[i] = nil
+	}
+	s.retired = kept
+	if obs.Enabled() {
+		var lag int64
+		if len(s.retired) > 0 {
+			lag = int64(s.cur.Load().epoch - s.retired[0].epoch)
+		}
+		obsEpochLag.Set(lag)
+	}
+}
+
+// acquire pins the current snapshot: increment its refcount, then recheck
+// that it is still current. The recheck is what makes the writer's
+// refs==0 observation a proof that no reader holds or will obtain the
+// snapshot (sequentially consistent atomics; see the package comment).
+func (s *Store) acquire() *epochSnap {
+	for {
+		e := s.cur.Load()
+		e.refs.Add(1)
+		if s.cur.Load() == e {
+			return e
+		}
+		e.refs.Add(-1)
+	}
+}
+
+func (s *Store) release(e *epochSnap) { e.refs.Add(-1) }
+
+// View is an epoch-pinned, immutable CSR view of the Store. It embeds
+// *core.Snapshot, so every read method (NumVertices, NumEdges, Degree,
+// Neighbors, ForEachNeighbor, ForEachNeighborUntil) and every analytics
+// kernel written against engine.Graph works on it directly, concurrently
+// with ongoing ingestion. Call Release when done; an unreleased View pins
+// its snapshot's buffers for the life of the Store.
+type View struct {
+	*core.Snapshot
+	s     *Store
+	e     *epochSnap
+	epoch uint64
+}
+
+// View acquires the most recently published snapshot and returns it
+// pinned. Always non-blocking with respect to the writer: a View is
+// available even mid-batch. Safe to call from any goroutine.
+func (s *Store) View() *View {
+	e := s.acquire()
+	return &View{Snapshot: e.snap, s: s, e: e, epoch: e.epoch}
+}
+
+// Epoch returns the epoch this view pinned: 0 for the Store's initial
+// state, incremented by one per applied batch. Valid after Release.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Release unpins the view. The view's read methods must not be used
+// afterwards (its buffers may be recycled into a future snapshot).
+// Releasing twice is a no-op. Release is not safe to call concurrently
+// with the view's own readers; callers sharing a View across goroutines
+// must release after those goroutines finish.
+func (v *View) Release() {
+	if v.e == nil {
+		return
+	}
+	v.s.release(v.e)
+	v.e = nil
+	v.Snapshot = nil
+}
+
+// Epoch returns the Store's current epoch: the number of batches applied
+// and published since construction.
+func (s *Store) Epoch() uint64 { return s.cur.Load().epoch }
+
+// NumVertices returns the vertex count of the current snapshot.
+func (s *Store) NumVertices() uint32 {
+	e := s.acquire()
+	n := e.snap.NumVertices()
+	s.release(e)
+	return n
+}
+
+// NumEdges returns the directed edge count of the current snapshot.
+func (s *Store) NumEdges() uint64 {
+	e := s.acquire()
+	m := e.snap.NumEdges()
+	s.release(e)
+	return m
+}
+
+// Degree returns v's out-degree in the current snapshot.
+func (s *Store) Degree(v uint32) uint32 {
+	e := s.acquire()
+	d := e.snap.Degree(v)
+	s.release(e)
+	return d
+}
+
+// ForEachNeighbor applies f to v's out-neighbors in ascending order, on
+// the snapshot current at call time. The snapshot stays pinned for the
+// duration of the iteration, so f always sees one coherent adjacency even
+// while batches apply concurrently.
+func (s *Store) ForEachNeighbor(v uint32, f func(u uint32)) {
+	e := s.acquire()
+	e.snap.ForEachNeighbor(v, f)
+	s.release(e)
+}
+
+// Stats is a point-in-time copy of the Store's always-on counters. These
+// are maintained with plain atomics independently of the obs registry, so
+// benchmarks and tests can read them without enabling metric collection.
+type Stats struct {
+	// BatchesApplied counts engine batches the writer has applied. With
+	// coalescing this can be lower than the number of enqueue calls.
+	BatchesApplied uint64
+	// EdgesEnqueued counts raw edges submitted via InsertBatch/DeleteBatch.
+	EdgesEnqueued uint64
+	// CoalescedBatches counts enqueue calls merged into an already-queued
+	// batch under backpressure.
+	CoalescedBatches uint64
+	// SnapshotsPublished counts published epochs (including epoch 0).
+	SnapshotsPublished uint64
+	// SnapshotsReclaimed counts retired snapshots whose epoch drained and
+	// whose buffers were recycled or dropped.
+	SnapshotsReclaimed uint64
+	// SnapshotReuses counts publishes that reused a reclaimed snapshot's
+	// buffers instead of allocating.
+	SnapshotReuses uint64
+}
+
+// Stats returns a copy of the Store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		BatchesApplied:     s.stats.batchesApplied.Load(),
+		EdgesEnqueued:      s.stats.edgesEnqueued.Load(),
+		CoalescedBatches:   s.stats.coalescedBatches.Load(),
+		SnapshotsPublished: s.stats.snapshotsPublished.Load(),
+		SnapshotsReclaimed: s.stats.snapshotsReclaimed.Load(),
+		SnapshotReuses:     s.stats.snapshotReuses.Load(),
+	}
+}

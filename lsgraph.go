@@ -17,6 +17,22 @@
 //	g.InsertEdges(edges)                  // batched, parallel
 //	dist := lsgraph.BFS(g, source)        // analytics on the new snapshot
 //	g.DeleteEdges(stale)
+//
+// # Concurrency
+//
+// The package offers two usage models:
+//
+//   - Graph is the phase-alternating engine of the paper: updates must
+//     not run concurrently with reads or other updates, while reads are
+//     freely concurrent with each other. Graph.Snapshot carves out an
+//     immutable CSR view for analytics that must survive later updates.
+//   - Store is the concurrent serving layer: updates enqueue through a
+//     single writer goroutine and readers pin epoch-numbered snapshots
+//     with Store.View, so ingestion and analytics overlap freely. Use it
+//     whenever update and read traffic cannot be phase-separated.
+//
+// All analytics entry points accept the Reader interface, which Graph,
+// Store, StoreView, and Graph.Snapshot's view all satisfy.
 package lsgraph
 
 import (
@@ -30,7 +46,27 @@ type Edge struct {
 	Src, Dst uint32
 }
 
-// Option configures a Graph at construction.
+// Reader is the read-only graph interface every analytics entry point in
+// this package accepts. It is satisfied by *Graph (between update
+// batches), *Store and *StoreView (concurrently with ingestion), and the
+// *core.Snapshot returned by Graph.Snapshot. Neighbor iteration visits
+// neighbors in ascending vertex-ID order, which ordered-set kernels
+// (notably triangle counting) rely on.
+type Reader interface {
+	// NumVertices returns the number of vertex slots; IDs are dense
+	// [0, NumVertices).
+	NumVertices() uint32
+	// NumEdges returns the number of directed edges currently stored.
+	NumEdges() uint64
+	// Degree returns the out-degree of v.
+	Degree(v uint32) uint32
+	// ForEachNeighbor applies f to each out-neighbor of v in ascending
+	// ID order.
+	ForEachNeighbor(v uint32, f func(u uint32))
+}
+
+// Option configures a Graph or Store at construction; see WithAlpha,
+// WithM, and WithWorkers.
 type Option func(*core.Config)
 
 // WithAlpha sets the space amplification factor α (default 1.2): gapped
@@ -40,19 +76,24 @@ func WithAlpha(alpha float64) Option {
 	return func(c *core.Config) { c.Alpha = alpha }
 }
 
-// WithM sets the RIA→HITree degree threshold M (default 4096; §6.5).
+// WithM sets the RIA→HITree degree threshold M (default 4096; §6.5):
+// vertices whose overflow exceeds M neighbors are promoted from the
+// Redundant Indexed Array to the Hybrid Indexed Tree.
 func WithM(m int) Option {
 	return func(c *core.Config) { c.M = m }
 }
 
-// WithWorkers bounds the parallelism of batch updates (default GOMAXPROCS).
+// WithWorkers bounds the parallelism of batch updates and snapshot
+// flattening (default GOMAXPROCS).
 func WithWorkers(w int) Option {
 	return func(c *core.Config) { c.Workers = w }
 }
 
-// Graph is the LSGraph engine. Updates must not run concurrently with
-// reads; the intended usage is the streaming model's alternation of update
-// batches and analytics passes.
+// Graph is the LSGraph engine in the paper's phase-alternating streaming
+// model: updates must not run concurrently with reads or other updates;
+// reads are freely concurrent with each other. For concurrent ingest and
+// analytics without phase separation, wrap the same configuration in a
+// Store instead.
 type Graph struct {
 	g *core.Graph
 }
@@ -66,7 +107,8 @@ func New(n uint32, opts ...Option) *Graph {
 	return &Graph{g: core.New(n, cfg)}
 }
 
-// NewFromEdges returns a graph with n vertex slots preloaded with es.
+// NewFromEdges returns a graph with n vertex slots preloaded with es via
+// the batch-insert path.
 func NewFromEdges(n uint32, es []Edge, opts ...Option) *Graph {
 	g := New(n, opts...)
 	g.InsertEdges(es)
@@ -91,23 +133,25 @@ func (g *Graph) Degree(v uint32) uint32 { return g.g.Degree(v) }
 func (g *Graph) Has(v, u uint32) bool { return g.g.Has(v, u) }
 
 // InsertEdges applies a batch of edge insertions in parallel. Duplicates
-// within the batch and edges already present are ignored.
+// within the batch and edges already present are ignored (set semantics).
 func (g *Graph) InsertEdges(es []Edge) {
 	src, dst := split(es)
 	g.g.InsertBatch(src, dst)
 }
 
 // DeleteEdges applies a batch of edge deletions in parallel. Edges not
-// present are ignored.
+// present are ignored (set semantics).
 func (g *Graph) DeleteEdges(es []Edge) {
 	src, dst := split(es)
 	g.g.DeleteBatch(src, dst)
 }
 
-// InsertBatch is the columnar variant of InsertEdges.
+// InsertBatch is the columnar variant of InsertEdges: it inserts the
+// directed edges (src[i] -> dst[i]).
 func (g *Graph) InsertBatch(src, dst []uint32) { g.g.InsertBatch(src, dst) }
 
-// DeleteBatch is the columnar variant of DeleteEdges.
+// DeleteBatch is the columnar variant of DeleteEdges: it removes the
+// directed edges (src[i] -> dst[i]).
 func (g *Graph) DeleteBatch(src, dst []uint32) { g.g.DeleteBatch(src, dst) }
 
 // ForEachNeighbor applies f to v's out-neighbors in ascending ID order.
@@ -125,21 +169,29 @@ func (g *Graph) Neighbors(v uint32) []uint32 {
 // (v's adjacency plus the reverse edges held by its neighbors).
 func (g *Graph) DeleteVertex(v uint32) { g.g.DeleteVertex(v) }
 
-// Snapshot returns an immutable CSR view of the current graph that
-// implements the same read interface; analytics may run on the snapshot
-// concurrently with further updates to g.
+// Snapshot returns an immutable CSR view of the current graph. The call
+// itself counts as a read — take it between update batches — but the
+// returned view is then fully independent: analytics may run on it
+// concurrently with further updates to g, and it satisfies Reader, so it
+// can be handed to any kernel in this package. (A Store does exactly this
+// after every applied batch, with buffer reuse, to serve readers while
+// ingesting.)
 func (g *Graph) Snapshot() *core.Snapshot { return g.g.Snapshot() }
 
-// MemoryUsage returns the engine's estimated resident bytes.
+// MemoryUsage returns the engine's estimated resident bytes: the vertex
+// block array plus every overflow structure (Table 3).
 func (g *Graph) MemoryUsage() uint64 { return g.g.MemoryUsage() }
 
-// IndexMemory returns the bytes spent on RIA index arrays and LIA models.
+// IndexMemory returns the bytes spent on RIA index arrays and LIA learned
+// models, Table 3's index-overhead numerator.
 func (g *Graph) IndexMemory() uint64 { return g.g.IndexMemory() }
 
 // Engine exposes the graph through the engine-neutral interface shared
 // with the baseline systems, for code written against engine.Engine.
 func (g *Graph) Engine() engine.Engine { return g.g }
 
+// split converts an Edge slice into the columnar src/dst form the engine
+// ingests.
 func split(es []Edge) (src, dst []uint32) {
 	src = make([]uint32, len(es))
 	dst = make([]uint32, len(es))

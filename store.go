@@ -1,0 +1,154 @@
+package lsgraph
+
+import (
+	"lsgraph/internal/core"
+	"lsgraph/internal/serve"
+)
+
+// Store is the concurrent serving layer over one LSGraph engine: a
+// single-writer / multi-reader wrapper that lets batch updates and
+// analytics run at the same time, the capability the bare Graph's
+// alternating-phase contract rules out.
+//
+// All updates enqueue into a bounded queue drained by one writer
+// goroutine, which applies each batch and then publishes an immutable
+// snapshot of the whole graph as a new epoch. Under backpressure the
+// queue merges same-op batches instead of blocking callers. Readers pin
+// the newest epoch with View — two atomic operations — and run any
+// analytics on it while further batches apply; a retired snapshot's
+// buffers are recycled once no reader pins its epoch.
+//
+// Store itself implements Reader by delegating each call to the current
+// snapshot, so the built-in kernels run directly on a live Store. Each
+// such call is individually consistent, but two successive calls may see
+// different epochs; pin a View when a whole kernel must observe one
+// coherent graph (the kernels themselves receive one Reader value, so
+// passing a View gives a fully consistent run).
+type Store struct {
+	st *serve.Store
+}
+
+// NewStore returns a Store over an empty graph with n vertex slots and
+// starts its writer goroutine. It accepts the same options as New. The
+// store's epoch 0 (the empty graph) is readable immediately.
+func NewStore(n uint32, opts ...Option) *Store {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Store{st: serve.New(core.New(n, cfg), serve.Options{})}
+}
+
+// InsertEdges enqueues a batch of edge insertions and returns immediately;
+// the batch becomes visible to readers when the writer applies it and
+// publishes the next epoch. Duplicates and already-present edges are
+// ignored, as in Graph.InsertEdges.
+func (s *Store) InsertEdges(es []Edge) {
+	src, dst := split(es)
+	s.st.InsertBatch(src, dst)
+}
+
+// DeleteEdges enqueues a batch of edge deletions with the same
+// asynchronous contract as InsertEdges. Enqueue order is preserved, so an
+// insert followed by a delete of the same edge leaves it absent.
+func (s *Store) DeleteEdges(es []Edge) {
+	src, dst := split(es)
+	s.st.DeleteBatch(src, dst)
+}
+
+// InsertBatch is the columnar variant of InsertEdges. The slices are
+// copied; the caller may reuse them immediately.
+func (s *Store) InsertBatch(src, dst []uint32) { s.st.InsertBatch(src, dst) }
+
+// DeleteBatch is the columnar variant of DeleteEdges. The slices are
+// copied; the caller may reuse them immediately.
+func (s *Store) DeleteBatch(src, dst []uint32) { s.st.DeleteBatch(src, dst) }
+
+// Flush blocks until every update enqueued before the call has been
+// applied and published.
+func (s *Store) Flush() {
+	s.st.Flush()
+}
+
+// Close applies and publishes any remaining queued batches, then stops
+// the writer goroutine and waits for it to exit. Updates after Close
+// panic; Views acquired before Close remain readable.
+func (s *Store) Close() {
+	s.st.Close()
+}
+
+// View pins the most recently published snapshot and returns it. Views
+// are always available — acquiring never waits for the writer, even
+// mid-batch — and stay immutable while the store keeps ingesting. Release
+// every view when done; an unreleased view pins its snapshot's memory.
+func (s *Store) View() *StoreView {
+	return &StoreView{v: s.st.View()}
+}
+
+// Epoch returns the store's current epoch: the number of update batches
+// applied and published since construction.
+func (s *Store) Epoch() uint64 { return s.st.Epoch() }
+
+// NumVertices returns the vertex count of the current snapshot.
+func (s *Store) NumVertices() uint32 { return s.st.NumVertices() }
+
+// NumEdges returns the directed edge count of the current snapshot.
+func (s *Store) NumEdges() uint64 { return s.st.NumEdges() }
+
+// Degree returns v's out-degree in the current snapshot.
+func (s *Store) Degree(v uint32) uint32 { return s.st.Degree(v) }
+
+// ForEachNeighbor applies f to v's out-neighbors in ascending order on
+// the snapshot current at call time; the snapshot stays pinned for the
+// whole iteration, concurrently with ongoing ingestion.
+func (s *Store) ForEachNeighbor(v uint32, f func(u uint32)) {
+	s.st.ForEachNeighbor(v, f)
+}
+
+// StoreStats is a point-in-time copy of a Store's always-on counters; see
+// the field docs in internal/serve. The same signals are exported through
+// the metrics registry (lsgraph_store_* series) when collection is on.
+type StoreStats = serve.Stats
+
+// Stats returns a copy of the store's counters: batches applied, edges
+// enqueued, coalesced batches, snapshots published/reclaimed/reused.
+func (s *Store) Stats() StoreStats { return s.st.Stats() }
+
+// StoreView is an epoch-pinned, immutable view of a Store. It implements
+// Reader, so every built-in kernel (BFS, PageRank, ConnectedComponents,
+// TriangleCount, KCore, BC) and the EdgeMap primitive run on it while the
+// store keeps ingesting. A view is consistent: all its reads observe the
+// same epoch.
+type StoreView struct {
+	v *serve.View
+}
+
+// Epoch returns the epoch this view pinned: 0 for the store's initial
+// empty graph, incremented by one per applied batch. Valid after Release.
+func (v *StoreView) Epoch() uint64 { return v.v.Epoch() }
+
+// Release unpins the view, allowing its snapshot's buffers to be
+// recycled. The view must not be read afterwards. Releasing twice is a
+// no-op.
+func (v *StoreView) Release() { v.v.Release() }
+
+// NumVertices returns the view's vertex count.
+func (v *StoreView) NumVertices() uint32 { return v.v.NumVertices() }
+
+// NumEdges returns the view's directed edge count.
+func (v *StoreView) NumEdges() uint64 { return v.v.NumEdges() }
+
+// Degree returns u's out-degree at the view's epoch.
+func (v *StoreView) Degree(u uint32) uint32 { return v.v.Degree(u) }
+
+// Neighbors returns u's out-neighbors in ascending order as a new slice.
+func (v *StoreView) Neighbors(u uint32) []uint32 {
+	out := make([]uint32, 0, v.v.Degree(u))
+	v.v.ForEachNeighbor(u, func(w uint32) { out = append(out, w) })
+	return out
+}
+
+// ForEachNeighbor applies f to u's out-neighbors in ascending ID order.
+func (v *StoreView) ForEachNeighbor(u uint32, f func(w uint32)) {
+	v.v.ForEachNeighbor(u, f)
+}
