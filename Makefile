@@ -10,11 +10,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with real cross-goroutine traffic:
-# the serving layer, the batch pipeline, the worker pool, and the sharded
-# metrics registry.
+# Race-detector pass over the packages with real cross-goroutine traffic;
+# the package list lives in scripts/race.sh (shared with scripts/verify.sh).
 race:
-	$(GO) test -race lsgraph/internal/serve lsgraph/internal/core lsgraph/internal/parallel lsgraph/internal/obs
+	sh scripts/race.sh
 
 verify:
 	sh scripts/verify.sh
@@ -24,9 +23,10 @@ bench-obs:
 	$(GO) test -run xxx -bench ObsOverhead -count 3 ./internal/core
 
 # Update/analytics benchmark sweep; writes ns/op per benchmark to
-# BENCH_pr2.json (the perf trajectory record).
+# BENCH_<tag>.json (the perf trajectory record). The tag defaults to the
+# short git commit hash; override with `make bench TAG=mytag`.
 bench:
-	sh scripts/bench.sh
+	sh scripts/bench.sh $(TAG)
 
 clean:
 	$(GO) clean ./...

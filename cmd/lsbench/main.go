@@ -7,6 +7,7 @@
 //	lsbench -exp fig12,table3       # run selected experiments
 //	lsbench -exp prepare            # prepare-pipeline phase breakdown vs workers
 //	lsbench -exp mixed              # concurrent ingest + analytics on a Store
+//	lsbench -exp sharded            # ingest scaling across shard writer pipelines
 //	lsbench -scale 14 -trials 5     # bigger graphs, more repetitions
 //	lsbench -quick                  # smallest useful scale (~1 minute)
 //	lsbench -list                   # list experiment names

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"lsgraph/internal/algo"
+	"lsgraph/internal/core"
+	"lsgraph/internal/serve"
+)
+
+// Sharded measures how concurrent ingest scales with the Store's shard
+// count: the mixed workload (90% preload, then streamed update batches
+// with PageRank and BFS readers pinning views throughout) run at
+// S ∈ {1, 2, 4, 8} shard writer pipelines. The batch size is fixed at the
+// largest of the scale's sweep so the S axis is the only variable. The
+// report gives ingest throughput and its speedup over the single-writer
+// baseline, plus each kernel's idle and live latency on the composed view
+// — the tax readers pay for pinning S snapshots instead of one.
+func Sharded(s Scale, w io.Writer) {
+	t := NewTable("Sharded ingest scaling: shard writer pipelines vs throughput (mixed workload)",
+		"speedup is ingest-eps relative to shards=1; pr/bfs-idle vs -live is kernel latency on the composed view without/with concurrent ingest.",
+		"shards", "batch", "ingest-eps", "speedup", "pr-idle", "pr-live", "bfs-idle", "bfs-live",
+		"epochs", "coalesced")
+	d, _ := MakeDataset("LJ-sim", s)
+	src, dst := Split(d.Edges)
+	cut := len(src) * 9 / 10
+	workers := s.Workers
+
+	b := 0
+	for _, c := range s.BatchSizes {
+		if c <= len(d.Edges) && c > b {
+			b = c
+		}
+	}
+	if b == 0 {
+		b = len(d.Edges)
+	}
+
+	var baseEPS float64
+	for _, S := range []int{1, 2, 4, 8} {
+		g := core.New(d.N, core.Config{Workers: workers, Shards: S})
+		g.InsertBatch(src[:cut], dst[:cut])
+		st := serve.New(g, serve.Options{})
+
+		v := st.View()
+		prIdle := timeIt(s.Trials, func() { algo.PageRank(v, 5, workers) })
+		bfsIdle := timeIt(s.Trials, func() { algo.BFS(v, 0, workers) })
+		v.Release()
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var prRuns, bfsRuns int
+		var prTotal, bfsTotal time.Duration
+		reader := func(runs *int, total *time.Duration, kernel func(g *serve.View)) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pin := st.View()
+				t0 := time.Now()
+				kernel(pin)
+				*total += time.Since(t0)
+				*runs++
+				pin.Release()
+			}
+		}
+		wg.Add(2)
+		go reader(&prRuns, &prTotal, func(g *serve.View) { algo.PageRank(g, 5, workers) })
+		go reader(&bfsRuns, &bfsTotal, func(g *serve.View) { algo.BFS(g, 0, workers) })
+
+		t0 := time.Now()
+		for k := 0; k < mixedBatches; k++ {
+			bs, bd := d.UpdateBatch(b, k)
+			st.InsertBatch(bs, bd)
+		}
+		st.Flush()
+		ingest := time.Since(t0)
+		close(stop)
+		wg.Wait()
+
+		stats := st.Stats()
+		epoch := st.Epoch()
+		st.Close()
+
+		eps := throughput(b*mixedBatches, ingest)
+		if S == 1 {
+			baseEPS = eps
+		}
+		speedup := 0.0
+		if baseEPS > 0 {
+			speedup = eps / baseEPS
+		}
+		mean := func(total time.Duration, runs int) interface{} {
+			if runs == 0 {
+				return "-"
+			}
+			return total / time.Duration(runs)
+		}
+		t.Row(S, b, eps, speedup,
+			prIdle, mean(prTotal, prRuns),
+			bfsIdle, mean(bfsTotal, bfsRuns),
+			epoch, stats.CoalescedBatches)
+	}
+	t.WriteTo(w)
+}

@@ -25,10 +25,10 @@ type group struct {
 const parPrepMin = 1 << 12
 
 // prepScratch holds the prepare pipeline's reusable buffers. Updates never
-// run concurrently with each other (the Graph concurrency contract), so one
-// arena per graph makes steady-state batches allocation-free: after the
-// first batch of a given size, pack, dedup, group discovery, and the apply
-// schedule all run in retained memory.
+// run concurrently within one shard (the per-shard concurrency contract),
+// so one arena per shard makes steady-state batches allocation-free: after
+// the first batch of a given size, pack, dedup, group discovery, and the
+// apply schedule all run in retained memory.
 type prepScratch struct {
 	ks     []uint64 // packed (src,dst) keys
 	tmp    []uint64 // parallel-dedup scatter target; swapped with ks per batch
@@ -57,11 +57,11 @@ func (g *Graph) workers() int {
 	return parallel.Procs
 }
 
-// ensureApplyScratch sizes the per-worker arenas for an apply phase with p
-// workers.
-func (g *Graph) ensureApplyScratch(p int) {
-	if len(g.apply) < p {
-		g.apply = make([]applyScratch, p)
+// ensureApplyScratch sizes the shard's per-worker arenas for an apply
+// phase with p workers.
+func (sh *shardState) ensureApplyScratch(p int) {
+	if len(sh.apply) < p {
+		sh.apply = make([]applyScratch, p)
 	}
 }
 
@@ -96,17 +96,17 @@ func growGroups(s []group, n int) []group {
 }
 
 // prepareBatch packs, sorts, deduplicates, and groups a batch by source
-// vertex (§5 "Batch Updates"). All three phases run in parallel for large
-// batches: packing is a chunked parallel-for, the sort is the parallel MSD
-// radix of internal/parallel, and dedup + group discovery split the sorted
-// keys into source-aligned ranges so groups never straddle two workers.
-func (g *Graph) prepareBatch(src, dst []uint32) ([]uint64, []group) {
-	p := g.workers()
+// vertex (§5 "Batch Updates") inside one shard's scratch arena. All three
+// phases run in parallel for large batches: packing is a chunked
+// parallel-for, the sort is the parallel MSD radix of internal/parallel,
+// and dedup + group discovery split the sorted keys into source-aligned
+// ranges so groups never straddle two workers.
+func (g *Graph) prepareBatch(sh *shardState, src, dst []uint32, p int) ([]uint64, []group) {
 	if obs.Enabled() {
 		obsPrepWorkers.Set(int64(p))
 	}
 	tPack := obs.StartTimer()
-	ks := g.packKeys(src, dst, p)
+	ks := g.packKeys(sh, src, dst, p)
 	obsPhasePack.ObserveSince(tPack)
 
 	tSort := obs.StartTimer()
@@ -114,20 +114,20 @@ func (g *Graph) prepareBatch(src, dst []uint32) ([]uint64, []group) {
 	obsPhaseSort.ObserveSince(tSort)
 
 	tGroup := obs.StartTimer()
-	keys, groups := g.dedupGroup(ks, p)
+	keys, groups := dedupGroup(sh, ks, p)
 	obsPhaseGroup.ObserveSince(tGroup)
 	return keys, groups
 }
 
-// packKeys validates every endpoint and packs src/dst into sortable
-// (src<<32)|dst keys, in parallel for large batches. An out-of-range edge
-// is recorded by the worker that finds it and re-raised as a panic on the
-// caller's goroutine, because a panic inside a worker goroutine could not
-// be recovered by the caller.
-func (g *Graph) packKeys(src, dst []uint32, p int) []uint64 {
-	n := uint32(len(g.verts))
-	g.prep.ks = growU64(g.prep.ks, len(src))
-	ks := g.prep.ks
+// packKeys validates every endpoint against the logical vertex bound and
+// packs src/dst into sortable (src<<32)|dst keys, in parallel for large
+// batches. An out-of-range edge is recorded by the worker that finds it
+// and re-raised as a panic on the caller's goroutine, because a panic
+// inside a worker goroutine could not be recovered by the caller.
+func (g *Graph) packKeys(sh *shardState, src, dst []uint32, p int) []uint64 {
+	n := g.n.Load()
+	sh.prep.ks = growU64(sh.prep.ks, len(src))
+	ks := sh.prep.ks
 	var bad atomic.Int64 // 1-based index of an out-of-range edge
 	parallel.ForChunkW(len(src), p, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -155,21 +155,21 @@ func (g *Graph) packKeys(src, dst []uint32, p int) []uint64 {
 // prefix sum places them, and a second parallel pass writes keys (into tmp,
 // never into another range's unread input) and groups at their final
 // offsets.
-func (g *Graph) dedupGroup(ks []uint64, p int) ([]uint64, []group) {
+func dedupGroup(sh *shardState, ks []uint64, p int) ([]uint64, []group) {
 	n := len(ks)
 	if n == 0 {
-		return ks, g.prep.groups[:0]
+		return ks, sh.prep.groups[:0]
 	}
 	if maxP := n / 1024; p > maxP {
 		p = maxP
 	}
 	if p <= 1 || n < parPrepMin {
-		return g.dedupGroupSeq(ks)
+		return dedupGroupSeq(sh, ks)
 	}
 
 	// Source-aligned range bounds. cuts is monotonic: a cut lands at the
 	// next source boundary at or after w*n/p, never before the previous cut.
-	cuts := growInt(g.prep.cuts, p+1)
+	cuts := growInt(sh.prep.cuts, p+1)
 	cuts[0], cuts[p] = 0, n
 	for w := 1; w < p; w++ {
 		c := w * n / p
@@ -183,8 +183,8 @@ func (g *Graph) dedupGroup(ks []uint64, p int) ([]uint64, []group) {
 	}
 
 	// Pass 1: count survivors and groups per range.
-	kept := growInt(g.prep.kept, p)
-	gcnt := growInt(g.prep.gcnt, p)
+	kept := growInt(sh.prep.kept, p)
+	gcnt := growInt(sh.prep.gcnt, p)
 	parallel.ForBlockedW(p, p, func(_, r int) {
 		lo, hi := cuts[r], cuts[r+1]
 		nk, ng := 0, 0
@@ -211,8 +211,8 @@ func (g *Graph) dedupGroup(ks []uint64, p int) ([]uint64, []group) {
 	}
 
 	// Pass 2: write deduped keys and groups at their final offsets.
-	tmp := growU64(g.prep.tmp, n)
-	groups := growGroups(g.prep.groups, totalG)
+	tmp := growU64(sh.prep.tmp, n)
+	groups := growGroups(sh.prep.groups, totalG)
 	on := obs.Enabled()
 	parallel.ForBlockedW(p, p, func(_, r int) {
 		lo, hi := cuts[r], cuts[r+1]
@@ -244,16 +244,16 @@ func (g *Graph) dedupGroup(ks []uint64, p int) ([]uint64, []group) {
 		}
 	})
 
-	g.prep.cuts, g.prep.kept, g.prep.gcnt = cuts, kept, gcnt
-	g.prep.groups = groups
+	sh.prep.cuts, sh.prep.kept, sh.prep.gcnt = cuts, kept, gcnt
+	sh.prep.groups = groups
 	// The deduped stream now lives in tmp; swap the arenas so the next
 	// batch reuses both buffers.
-	g.prep.ks, g.prep.tmp = tmp, ks
+	sh.prep.ks, sh.prep.tmp = tmp, ks
 	return tmp[:totalK], groups
 }
 
 // dedupGroupSeq is the one-worker dedup + group discovery, in place.
-func (g *Graph) dedupGroupSeq(ks []uint64) ([]uint64, []group) {
+func dedupGroupSeq(sh *shardState, ks []uint64) ([]uint64, []group) {
 	w := 0
 	for i, k := range ks {
 		if i > 0 && k == ks[i-1] {
@@ -263,7 +263,7 @@ func (g *Graph) dedupGroupSeq(ks []uint64) ([]uint64, []group) {
 		w++
 	}
 	ks = ks[:w]
-	groups := g.prep.groups[:0]
+	groups := sh.prep.groups[:0]
 	on := obs.Enabled()
 	for i := 0; i < len(ks); {
 		v := uint32(ks[i] >> 32)
@@ -277,37 +277,37 @@ func (g *Graph) dedupGroupSeq(ks []uint64) ([]uint64, []group) {
 		}
 		i = j
 	}
-	g.prep.groups = groups
+	sh.prep.groups = groups
 	return ks, groups
 }
 
-// forEachGroupBySize applies f to every group exactly once. Scheduling is
-// skew-aware: groups are ordered largest-first and workers claim them
-// dynamically, so a hub vertex's huge group starts immediately instead of
-// serializing whichever worker a static round-robin happened to assign it
-// to, with the rest of the batch back-filling the other workers. Each group
-// — and therefore each source vertex, since prepareBatch emits one group
-// per vertex — is applied by exactly one worker, preserving the lock-free
+// forEachGroupBySize applies f to every group exactly once, with p
+// workers in the shard's apply arena. Scheduling is skew-aware: groups are
+// ordered largest-first and workers claim them dynamically, so a hub
+// vertex's huge group starts immediately instead of serializing whichever
+// worker a static round-robin happened to assign it to, with the rest of
+// the batch back-filling the other workers. Each group — and therefore
+// each source vertex, since prepareBatch emits one group per vertex — is
+// applied by exactly one worker, preserving the lock-free
 // one-vertex-one-worker invariant the paper's update path relies on (§5).
-func (g *Graph) forEachGroupBySize(groups []group, f func(w, gi int)) {
+func forEachGroupBySize(sh *shardState, groups []group, p int, f func(w, gi int)) {
 	n := len(groups)
 	if n == 0 {
 		return
 	}
-	p := g.workers()
-	g.ensureApplyScratch(p)
+	sh.ensureApplyScratch(p)
 	if p <= 1 {
 		// One worker applies in vertex order; sorting the schedule would be
 		// pure overhead.
 		parallel.ForDynamicW(n, 1, f)
 		return
 	}
-	order := growU64(g.prep.order, n)
+	order := growU64(sh.prep.order, n)
 	for i := range groups {
 		order[i] = uint64(groups[i].hi-groups[i].lo)<<32 | uint64(i)
 	}
 	parallel.SortUint64(order, p)
-	g.prep.order = order
+	sh.prep.order = order
 	parallel.ForDynamicW(n, p, func(w, i int) {
 		f(w, int(uint32(order[n-1-i])))
 	})
@@ -331,31 +331,93 @@ func deleteBulkThreshold(groupLen int, deg uint32) bool {
 
 // InsertBatch adds the directed edges (src[i] -> dst[i]). Duplicate and
 // already-present edges are ignored. The batch is applied in parallel, one
-// vertex's group per worker, largest groups first.
+// vertex's group per worker, largest groups first; with Shards > 1 it is
+// first scattered by source vertex and the shards run their pipelines
+// concurrently.
 func (g *Graph) InsertBatch(src, dst []uint32) {
 	validateBatch("InsertBatch", src, dst)
 	if len(src) == 0 {
 		return
 	}
 	defer trace.StartRegion(context.Background(), "lsgraph.InsertBatch").End()
-	ks, groups := g.prepareBatch(src, dst)
+	if len(g.shards) == 1 {
+		g.insertBatchShard(&g.shards[0], src, dst, g.workers())
+		return
+	}
+	g.eachShardPart(src, dst, func(sh *shardState, part SubBatch, p int) {
+		g.insertBatchShard(sh, part.Src, part.Dst, p)
+	})
+}
+
+// DeleteBatch removes the directed edges (src[i] -> dst[i]). Absent edges
+// are ignored.
+func (g *Graph) DeleteBatch(src, dst []uint32) {
+	validateBatch("DeleteBatch", src, dst)
+	if len(src) == 0 {
+		return
+	}
+	defer trace.StartRegion(context.Background(), "lsgraph.DeleteBatch").End()
+	if len(g.shards) == 1 {
+		g.deleteBatchShard(&g.shards[0], src, dst, g.workers())
+		return
+	}
+	g.eachShardPart(src, dst, func(sh *shardState, part SubBatch, p int) {
+		g.deleteBatchShard(sh, part.Src, part.Dst, p)
+	})
+}
+
+// eachShardPart scatters a batch by source vertex and runs apply on every
+// non-empty part, shards in parallel. Out-of-range endpoints are detected
+// up front on the caller's goroutine (per-shard packKeys would panic
+// inside a worker goroutine, where the caller could not recover it).
+func (g *Graph) eachShardPart(src, dst []uint32, apply func(sh *shardState, part SubBatch, p int)) {
+	parts, bound := g.ScatterBatch(src, dst)
+	if n := g.n.Load(); bound > n {
+		for i := range src {
+			if src[i] >= n || dst[i] >= n {
+				panic(fmt.Sprintf("core: edge (%d,%d) outside vertex space [0,%d); grow with EnsureVertices",
+					src[i], dst[i], n))
+			}
+		}
+	}
+	p := g.shardWorkers()
+	var thunks []func()
+	for i := range parts {
+		if len(parts[i].Src) == 0 {
+			continue
+		}
+		sh, part := &g.shards[i], parts[i]
+		thunks = append(thunks, func() { apply(sh, part, p) })
+	}
+	parallel.Run(thunks...)
+}
+
+// insertBatchShard runs the full prepare+apply pipeline for one shard's
+// routed sub-batch with p workers. Callers must own the shard exclusively.
+func (g *Graph) insertBatchShard(sh *shardState, src, dst []uint32, p int) {
+	if len(src) == 0 {
+		return
+	}
+	ks, groups := g.prepareBatch(sh, src, dst, p)
 	on := obs.Enabled()
 	tApply := obs.StartTimer()
 	var added atomic.Uint64
-	g.forEachGroupBySize(groups, func(w, gi int) {
+	base := sh.base
+	forEachGroupBySize(sh, groups, p, func(w, gi int) {
 		gr := groups[gi]
+		vb := &sh.verts[gr.v-base]
 		n := uint64(0)
-		if !g.cfg.NoBulkRebuild && bulkThreshold(gr.hi-gr.lo, g.verts[gr.v].deg) {
+		if !g.cfg.NoBulkRebuild && bulkThreshold(gr.hi-gr.lo, vb.deg) {
 			if on {
 				obsGroupsBulk.AddShard(w, 1)
 			}
-			n = g.insertGroupBulk(w, gr, ks)
+			n = g.insertGroupBulk(sh, w, vb, gr, ks)
 		} else {
 			if on {
 				obsGroupsEdge.AddShard(w, 1)
 			}
 			for i := gr.lo; i < gr.hi; i++ {
-				if g.insertOne(gr.v, uint32(ks[i])) {
+				if g.insertOne(vb, uint32(ks[i])) {
 					n++
 				}
 			}
@@ -364,7 +426,7 @@ func (g *Graph) InsertBatch(src, dst []uint32) {
 			added.Add(n)
 		}
 	})
-	g.m.Add(added.Load())
+	sh.m.Add(added.Load())
 	obsPhaseApply.ObserveSince(tApply)
 	if on {
 		obsBatchesIns.Inc()
@@ -379,9 +441,8 @@ func (g *Graph) InsertBatch(src, dst []uint32) {
 // climbing with batch size (Figure 12). The merge runs in worker w's
 // scratch arena; every overflow builder copies its input, so the arena is
 // safe to reuse for the worker's next group.
-func (g *Graph) insertGroupBulk(w int, gr group, ks []uint64) uint64 {
-	vb := &g.verts[gr.v]
-	sc := &g.apply[w]
+func (g *Graph) insertGroupBulk(sh *shardState, w int, vb *vertex, gr group, ks []uint64) uint64 {
+	sc := &sh.apply[w]
 	if obs.Enabled() {
 		if cap(sc.old) >= int(vb.deg) && cap(sc.out) >= int(vb.deg)+gr.hi-gr.lo {
 			obsScratchHit.AddShard(w, 1)
@@ -389,7 +450,7 @@ func (g *Graph) insertGroupBulk(w int, gr group, ks []uint64) uint64 {
 			obsScratchMiss.AddShard(w, 1)
 		}
 	}
-	old := g.AppendNeighbors(gr.v, sc.old[:0])
+	old := appendNeighborsVB(vb, sc.old[:0])
 	merged := sc.out[:0]
 	if cap(merged) < len(old)+gr.hi-gr.lo {
 		merged = make([]uint32, 0, len(old)+gr.hi-gr.lo)
@@ -419,37 +480,38 @@ func (g *Graph) insertGroupBulk(w int, gr group, ks []uint64) uint64 {
 		merged = append(merged, u)
 	}
 	added := uint64(len(merged) - len(old))
-	g.rebuildVertex(gr.v, merged)
+	g.rebuildVertex(vb, merged)
 	sc.old, sc.out = old, merged // retain grown capacity for the next group
 	return added
 }
 
-// DeleteBatch removes the directed edges (src[i] -> dst[i]). Absent edges
-// are ignored.
-func (g *Graph) DeleteBatch(src, dst []uint32) {
-	validateBatch("DeleteBatch", src, dst)
+// deleteBatchShard runs the full prepare+apply delete pipeline for one
+// shard's routed sub-batch with p workers. Callers must own the shard
+// exclusively.
+func (g *Graph) deleteBatchShard(sh *shardState, src, dst []uint32, p int) {
 	if len(src) == 0 {
 		return
 	}
-	defer trace.StartRegion(context.Background(), "lsgraph.DeleteBatch").End()
-	ks, groups := g.prepareBatch(src, dst)
+	ks, groups := g.prepareBatch(sh, src, dst, p)
 	on := obs.Enabled()
 	tApply := obs.StartTimer()
 	var removed atomic.Uint64
-	g.forEachGroupBySize(groups, func(w, gi int) {
+	base := sh.base
+	forEachGroupBySize(sh, groups, p, func(w, gi int) {
 		gr := groups[gi]
+		vb := &sh.verts[gr.v-base]
 		n := uint64(0)
-		if !g.cfg.NoBulkRebuild && deleteBulkThreshold(gr.hi-gr.lo, g.verts[gr.v].deg) {
+		if !g.cfg.NoBulkRebuild && deleteBulkThreshold(gr.hi-gr.lo, vb.deg) {
 			if on {
 				obsGroupsBulk.AddShard(w, 1)
 			}
-			n = g.deleteGroupBulk(w, gr, ks)
+			n = g.deleteGroupBulk(sh, w, vb, gr, ks)
 		} else {
 			if on {
 				obsGroupsEdge.AddShard(w, 1)
 			}
 			for i := gr.lo; i < gr.hi; i++ {
-				if g.deleteOne(gr.v, uint32(ks[i])) {
+				if g.deleteOne(vb, uint32(ks[i])) {
 					n++
 				}
 			}
@@ -458,7 +520,7 @@ func (g *Graph) DeleteBatch(src, dst []uint32) {
 			removed.Add(n)
 		}
 	})
-	g.subEdges(removed.Load())
+	sh.subEdges(removed.Load())
 	obsPhaseApply.ObserveSince(tApply)
 	if on {
 		obsBatchesDel.Inc()
@@ -470,9 +532,8 @@ func (g *Graph) DeleteBatch(src, dst []uint32) {
 // deleteGroupBulk subtracts a sorted update group from a vertex's neighbor
 // set and rebuilds its storage, returning the number of removed edges. Like
 // insertGroupBulk it runs in worker w's scratch arena.
-func (g *Graph) deleteGroupBulk(w int, gr group, ks []uint64) uint64 {
-	vb := &g.verts[gr.v]
-	sc := &g.apply[w]
+func (g *Graph) deleteGroupBulk(sh *shardState, w int, vb *vertex, gr group, ks []uint64) uint64 {
+	sc := &sh.apply[w]
 	if obs.Enabled() {
 		if cap(sc.old) >= int(vb.deg) && cap(sc.out) >= int(vb.deg) {
 			obsScratchHit.AddShard(w, 1)
@@ -480,7 +541,7 @@ func (g *Graph) deleteGroupBulk(w int, gr group, ks []uint64) uint64 {
 			obsScratchMiss.AddShard(w, 1)
 		}
 	}
-	old := g.AppendNeighbors(gr.v, sc.old[:0])
+	old := appendNeighborsVB(vb, sc.old[:0])
 	kept := sc.out[:0]
 	if cap(kept) < len(old) {
 		kept = make([]uint32, 0, len(old))
@@ -497,7 +558,7 @@ func (g *Graph) deleteGroupBulk(w int, gr group, ks []uint64) uint64 {
 		kept = append(kept, a)
 	}
 	removed := uint64(len(old) - len(kept))
-	g.rebuildVertex(gr.v, kept)
+	g.rebuildVertex(vb, kept)
 	sc.old, sc.out = old, kept
 	return removed
 }

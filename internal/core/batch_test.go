@@ -55,7 +55,7 @@ func TestOneVertexOneWorker(t *testing.T) {
 	for i, e := range es {
 		src[i], dst[i] = e.Src, e.Dst
 	}
-	_, groups := g.prepareBatch(src, dst)
+	_, groups := g.prepareBatch(&g.shards[0], src, dst, g.workers())
 	if len(groups) == 0 {
 		t.Fatal("no groups")
 	}
@@ -69,7 +69,7 @@ func TestOneVertexOneWorker(t *testing.T) {
 	var mu sync.Mutex
 	applied := make(map[int]int)         // group index -> times applied
 	vertexWorker := make(map[uint32]int) // vertex -> applying worker
-	g.forEachGroupBySize(groups, func(w, gi int) {
+	forEachGroupBySize(&g.shards[0], groups, g.workers(), func(w, gi int) {
 		mu.Lock()
 		defer mu.Unlock()
 		applied[gi]++
@@ -111,11 +111,11 @@ func TestDedupGroupParallelMatchesSequential(t *testing.T) {
 		sortU64(ks)
 
 		gSeq := New(1, Config{Workers: 1})
-		wantKeys, wantGroups := gSeq.dedupGroupSeq(append([]uint64(nil), ks...))
+		wantKeys, wantGroups := dedupGroupSeq(&gSeq.shards[0], append([]uint64(nil), ks...))
 
 		for _, p := range []int{2, 3, 8} {
 			gPar := New(1, Config{Workers: p})
-			gotKeys, gotGroups := gPar.dedupGroup(append([]uint64(nil), ks...), p)
+			gotKeys, gotGroups := dedupGroup(&gPar.shards[0], append([]uint64(nil), ks...), p)
 			if len(gotKeys) != len(wantKeys) {
 				t.Fatalf("n=%d p=%d: %d keys want %d", n, p, len(gotKeys), len(wantKeys))
 			}

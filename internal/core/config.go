@@ -40,6 +40,13 @@ type Config struct {
 	M int
 	// Workers bounds parallelism during batch updates (default GOMAXPROCS).
 	Workers int
+	// Shards partitions the vertex space into this many contiguous ranges
+	// (default 1). Each shard carries its own update scratch and edge
+	// counter, so batches routed to different shards may be applied
+	// concurrently by different writers (see internal/serve); a vertex
+	// lives in exactly one shard, which preserves the one-vertex-one-worker
+	// update invariant across shards for free.
+	Shards int
 	// Overflow selects the overflow structure policy (ablations).
 	Overflow OverflowKind
 	// DisableModel replaces LIA learned internal nodes with binary-searched
@@ -60,6 +67,9 @@ func (c *Config) sanitize() {
 	}
 	if c.M <= 0 {
 		c.M = 4096
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
 	}
 	if c.Overflow == KindRIAOnly {
 		c.M = math.MaxInt32

@@ -18,31 +18,75 @@ type Stats struct {
 // hierarchical indexed representation. Reads (Degree, ForEachNeighbor,
 // analytics) may run concurrently with each other but not with updates;
 // the streaming model alternates update and analytics phases (§1).
+//
+// Internally the vertex space is partitioned into Config.Shards contiguous
+// ranges (default 1), each holding its own vertex blocks, edge counter,
+// and prepare/apply scratch. With one shard the engine behaves exactly as
+// the paper describes. With S > 1, batches routed to different shards may
+// be applied concurrently — every update and every structural movement is
+// confined to one source vertex, and a vertex lives in exactly one shard,
+// so the per-vertex exclusivity contract composes across shards. The
+// Shard handle (shard.go) exposes that per-shard update/snapshot surface;
+// internal/serve builds its per-shard writer pipeline on it.
 type Graph struct {
-	verts   []vertex
-	m       atomic.Uint64 // directed edge count
+	// shards partitions the vertex space: shard i owns the contiguous
+	// range [i*span, (i+1)*span), the last shard open-ended. span is fixed
+	// at construction so routing never changes as the vertex space grows;
+	// growth therefore always lands in the last shard's range.
+	shards []shardState
+	span   uint32
+	// n is the logical vertex-space bound: IDs are valid in [0, n). It is
+	// atomic because concurrent shard writers raise it via EnsureVertices
+	// while others validate batches against it.
+	n atomic.Uint32
+
 	cfg     Config
 	treeCfg hitree.Config
 	stats   Stats
-
-	// Reusable update-path scratch. Updates are exclusive with each other,
-	// so one prepare arena per graph plus one apply arena per worker make
-	// steady-state batches allocation-free (see batch.go).
-	prep  prepScratch
-	apply []applyScratch
 }
 
-// New returns an empty engine with n vertex slots.
+// New returns an empty engine with n vertex slots, partitioned into
+// cfg.Shards contiguous ranges (default 1).
 func New(n uint32, cfg Config) *Graph {
 	cfg.sanitize()
-	g := &Graph{verts: make([]vertex, n), cfg: cfg}
+	g := &Graph{cfg: cfg}
 	g.treeCfg = hitree.Config{
 		Alpha:        cfg.Alpha,
 		M:            cfg.M,
 		LeafArrayMax: cfg.ArrayMax,
 		DisableModel: cfg.DisableModel,
 	}
+	s := cfg.Shards
+	span := n
+	if s > 1 {
+		span = (n + uint32(s) - 1) / uint32(s)
+	}
+	if span == 0 {
+		span = 1
+	}
+	g.span = span
+	g.n.Store(n)
+	g.shards = make([]shardState, s)
+	for i := range g.shards {
+		base := uint32(i) * span
+		g.shards[i].base = base
+		g.shards[i].verts = make([]vertex, shardSliceLen(base, span, i == s-1, n))
+	}
 	return g
+}
+
+// shardSliceLen is the storage length of a shard based at base under the
+// logical bound n: the shard's slice of [0, n), capped at span except for
+// the open-ended last shard.
+func shardSliceLen(base, span uint32, last bool, n uint32) int {
+	if n <= base {
+		return 0
+	}
+	l := n - base
+	if !last && l > span {
+		l = span
+	}
+	return int(l)
 }
 
 // NewFromEdges builds an engine preloaded with es (directed, deduplicated
@@ -63,34 +107,101 @@ func (g *Graph) Config() Config { return g.cfg }
 func (g *Graph) Stats() *Stats { return &g.stats }
 
 // NumVertices returns the number of vertex slots.
-func (g *Graph) NumVertices() uint32 { return uint32(len(g.verts)) }
+func (g *Graph) NumVertices() uint32 { return g.n.Load() }
 
-// EnsureVertices grows the vertex space to at least n slots. Like updates,
-// it must not run concurrently with reads or other updates.
+// EnsureVertices grows the vertex space to at least n slots, materializing
+// every shard's slice of the new range. Like updates, it must not run
+// concurrently with reads or other updates (per-shard growth for the
+// concurrent serving layer goes through Shard.EnsureVertices instead).
 func (g *Graph) EnsureVertices(n uint32) {
-	if uint32(len(g.verts)) >= n {
-		return
+	g.raiseBound(n)
+	n = g.n.Load()
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.ensure(shardSliceLen(sh.base, g.span, i == len(g.shards)-1, n))
 	}
-	grown := make([]vertex, n)
-	copy(grown, g.verts)
-	g.verts = grown
 }
 
-// NumEdges returns the number of directed edges stored.
-func (g *Graph) NumEdges() uint64 { return g.m.Load() }
+// ReserveVertices raises the logical vertex-space bound to at least n
+// without materializing storage (an atomic max, safe to call concurrently
+// with shard updates). Reads treat reserved-but-unmaterialized vertices as
+// degree 0; updates must still materialize the owning shard's storage via
+// Shard.EnsureVertices before touching them. The serving layer reserves at
+// enqueue time so every published view's vertex count already covers every
+// destination ID any in-flight batch references.
+func (g *Graph) ReserveVertices(n uint32) { g.raiseBound(n) }
 
-// subEdges subtracts n from the edge count. atomic.Uint64 has no Sub;
-// adding the two's complement -n is the documented equivalent (values wrap
-// modulo 2^64), and n never exceeds the current count because every removal
-// was a stored edge.
-func (g *Graph) subEdges(n uint64) { g.m.Add(-n) }
+// raiseBound lifts the logical vertex-space bound to at least n (atomic
+// max, so concurrent shard writers may race to raise it).
+func (g *Graph) raiseBound(n uint32) {
+	for {
+		cur := g.n.Load()
+		if n <= cur || g.n.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// locate returns the shard owning v and v's index within it. Every ID has
+// an owning shard (the last shard's range is open-ended), but the local
+// index may lie beyond the shard's materialized storage; read paths treat
+// that as degree 0 while update paths materialize storage first.
+func (g *Graph) locate(v uint32) (*shardState, uint32) {
+	if len(g.shards) == 1 {
+		return &g.shards[0], v
+	}
+	i := int(v / g.span)
+	if i >= len(g.shards) {
+		i = len(g.shards) - 1
+	}
+	sh := &g.shards[i]
+	return sh, v - sh.base
+}
+
+// vb returns v's vertex block, or nil when v's slot is not materialized
+// (vertex-space growth that has not reached v's shard yet): such a vertex
+// has no out-edges.
+func (g *Graph) vb(v uint32) *vertex {
+	sh, lv := g.locate(v)
+	if int(lv) >= len(sh.verts) {
+		return nil
+	}
+	return &sh.verts[lv]
+}
+
+// mustVB is vb for update paths, where routing plus EnsureVertices
+// guarantee the slot exists; a miss here is a routing bug and panics via
+// the slice bounds check.
+func (g *Graph) mustVB(v uint32) *vertex {
+	sh, lv := g.locate(v)
+	return &sh.verts[lv]
+}
+
+// NumEdges returns the number of directed edges stored, summed over
+// shards.
+func (g *Graph) NumEdges() uint64 {
+	var m uint64
+	for i := range g.shards {
+		m += g.shards[i].m.Load()
+	}
+	return m
+}
 
 // Degree returns the out-degree of v.
-func (g *Graph) Degree(v uint32) uint32 { return g.verts[v].deg }
+func (g *Graph) Degree(v uint32) uint32 {
+	vb := g.vb(v)
+	if vb == nil {
+		return 0
+	}
+	return vb.deg
+}
 
 // Has reports whether the directed edge (v,u) is present.
 func (g *Graph) Has(v, u uint32) bool {
-	vb := &g.verts[v]
+	vb := g.vb(v)
+	if vb == nil {
+		return false
+	}
 	n := vb.inlineLen()
 	if n > 0 && u <= vb.inline[n-1] {
 		_, found := vb.inlineFind(u)
@@ -104,7 +215,10 @@ func (g *Graph) Has(v, u uint32) bool {
 
 // ForEachNeighbor applies f to v's out-neighbors in ascending order.
 func (g *Graph) ForEachNeighbor(v uint32, f func(u uint32)) {
-	vb := &g.verts[v]
+	vb := g.vb(v)
+	if vb == nil {
+		return
+	}
 	n := vb.inlineLen()
 	for i := 0; i < n; i++ {
 		f(vb.inline[i])
@@ -116,7 +230,10 @@ func (g *Graph) ForEachNeighbor(v uint32, f func(u uint32)) {
 
 // ForEachNeighborUntil applies f in ascending order until f returns false.
 func (g *Graph) ForEachNeighborUntil(v uint32, f func(u uint32) bool) {
-	vb := &g.verts[v]
+	vb := g.vb(v)
+	if vb == nil {
+		return
+	}
 	n := vb.inlineLen()
 	for i := 0; i < n; i++ {
 		if !f(vb.inline[i]) {
@@ -128,9 +245,8 @@ func (g *Graph) ForEachNeighborUntil(v uint32, f func(u uint32) bool) {
 	}
 }
 
-// AppendNeighbors appends v's neighbors in ascending order to dst.
-func (g *Graph) AppendNeighbors(v uint32, dst []uint32) []uint32 {
-	vb := &g.verts[v]
+// appendNeighborsVB appends vb's neighbors in ascending order to dst.
+func appendNeighborsVB(vb *vertex, dst []uint32) []uint32 {
 	n := vb.inlineLen()
 	dst = append(dst, vb.inline[:n]...)
 	if vb.ov != nil {
@@ -139,11 +255,19 @@ func (g *Graph) AppendNeighbors(v uint32, dst []uint32) []uint32 {
 	return dst
 }
 
-// insertOne adds edge (v,u), preserving the inline-holds-smallest
-// invariant; it reports whether the edge was new. Callers must own vertex v
-// exclusively.
-func (g *Graph) insertOne(v, u uint32) bool {
-	vb := &g.verts[v]
+// AppendNeighbors appends v's neighbors in ascending order to dst.
+func (g *Graph) AppendNeighbors(v uint32, dst []uint32) []uint32 {
+	vb := g.vb(v)
+	if vb == nil {
+		return dst
+	}
+	return appendNeighborsVB(vb, dst)
+}
+
+// insertOne adds edge (v,u) into vb (v's block), preserving the
+// inline-holds-smallest invariant; it reports whether the edge was new.
+// Callers must own vertex v exclusively.
+func (g *Graph) insertOne(vb *vertex, u uint32) bool {
 	n := vb.inlineLen()
 	if n < inlineCap {
 		// Everything fits inline (ov must be nil by invariant).
@@ -210,10 +334,9 @@ func (g *Graph) DeleteVertex(v uint32) {
 	g.DeleteBatch(src, dst)
 }
 
-// deleteOne removes edge (v,u); it reports whether the edge existed.
-// Callers must own vertex v exclusively.
-func (g *Graph) deleteOne(v, u uint32) bool {
-	vb := &g.verts[v]
+// deleteOne removes edge (v,u) from vb (v's block); it reports whether the
+// edge existed. Callers must own vertex v exclusively.
+func (g *Graph) deleteOne(vb *vertex, u uint32) bool {
 	n := vb.inlineLen()
 	i, found := vb.inlineFind(u)
 	if found {
@@ -241,10 +364,9 @@ func (g *Graph) deleteOne(v, u uint32) bool {
 	return true
 }
 
-// rebuildVertex replaces v's storage from the full sorted neighbor set ns.
-// The batch updater uses it for large per-vertex groups.
-func (g *Graph) rebuildVertex(v uint32, ns []uint32) {
-	vb := &g.verts[v]
+// rebuildVertex replaces vb's storage from the full sorted neighbor set
+// ns. The batch updater uses it for large per-vertex groups.
+func (g *Graph) rebuildVertex(vb *vertex, ns []uint32) {
 	vb.deg = uint32(len(ns))
 	n := len(ns)
 	if n > inlineCap {
@@ -269,13 +391,17 @@ func (g *Graph) rebuildVertex(v uint32, ns []uint32) {
 }
 
 // MemoryUsage returns the engine's estimated resident bytes: the vertex
-// block array plus every overflow structure (Table 3).
+// block arrays plus every overflow structure (Table 3).
 func (g *Graph) MemoryUsage() uint64 {
 	const vertexBytes = 64 // one cache line per vertex block (§5)
-	total := uint64(len(g.verts)) * vertexBytes
-	for i := range g.verts {
-		if ov := g.verts[i].ov; ov != nil {
-			total += ov.Memory()
+	var total uint64
+	for i := range g.shards {
+		sh := &g.shards[i]
+		total += uint64(len(sh.verts)) * vertexBytes
+		for j := range sh.verts {
+			if ov := sh.verts[j].ov; ov != nil {
+				total += ov.Memory()
+			}
 		}
 	}
 	return total
@@ -285,9 +411,12 @@ func (g *Graph) MemoryUsage() uint64 {
 // models, Table 3's index-overhead numerator.
 func (g *Graph) IndexMemory() uint64 {
 	var total uint64
-	for i := range g.verts {
-		if ov := g.verts[i].ov; ov != nil {
-			total += ov.IndexMemory()
+	for i := range g.shards {
+		sh := &g.shards[i]
+		for j := range sh.verts {
+			if ov := sh.verts[j].ov; ov != nil {
+				total += ov.IndexMemory()
+			}
 		}
 	}
 	return total

@@ -15,11 +15,29 @@ type Snapshot struct {
 
 // Snapshot flattens the current graph into a fresh CSR view. The call
 // itself must be serialized with updates — take it between batches, or let
-// internal/serve's single-writer Store do that for you (its writer
-// republishes after every applied batch, which is how concurrent
+// internal/serve's writer pipeline do that for you (its shard writers
+// republish after every applied batch, which is how concurrent
 // ingest+analytics is obtained). The returned view is immutable and may be
 // read concurrently with anything, including further updates to g.
 func (g *Graph) Snapshot() *Snapshot { return g.SnapshotInto(nil) }
+
+// ensureOffs sizes s.offs to n+1, reusing capacity.
+func (s *Snapshot) ensureOffs(n int) {
+	if cap(s.offs) >= n+1 {
+		s.offs = s.offs[:n+1]
+	} else {
+		s.offs = make([]uint64, n+1)
+	}
+}
+
+// ensureAdj sizes s.adj to m, reusing capacity.
+func (s *Snapshot) ensureAdj(m uint64) {
+	if uint64(cap(s.adj)) >= m {
+		s.adj = s.adj[:m]
+	} else {
+		s.adj = make([]uint32, m)
+	}
+}
 
 // SnapshotInto flattens the current graph into s, reusing s's buffers when
 // their capacity allows, and returns the populated snapshot (s itself, or
@@ -37,27 +55,79 @@ func (g *Graph) SnapshotInto(s *Snapshot) *Snapshot {
 		s = &Snapshot{}
 	}
 	n := int(g.NumVertices())
-	if cap(s.offs) >= n+1 {
-		s.offs = s.offs[:n+1]
-	} else {
-		s.offs = make([]uint64, n+1)
-	}
+	s.ensureOffs(n)
 	s.offs[0] = 0
 	for v := 0; v < n; v++ {
-		s.offs[v+1] = s.offs[v] + uint64(g.verts[v].deg)
+		var deg uint64
+		if vb := g.vb(uint32(v)); vb != nil {
+			deg = uint64(vb.deg)
+		}
+		s.offs[v+1] = s.offs[v] + deg
 	}
-	m := s.offs[n]
-	if uint64(cap(s.adj)) >= m {
-		s.adj = s.adj[:m]
-	} else {
-		s.adj = make([]uint32, m)
-	}
+	s.ensureAdj(s.offs[n])
 	parallel.For(n, g.cfg.Workers, func(v int) {
 		// Append into the pre-sized CSR segment for v; the full-slice
 		// expression pins capacity so a degree mismatch fails loudly
 		// instead of clobbering v+1's segment.
 		g.AppendNeighbors(uint32(v), s.adj[s.offs[v]:s.offs[v]:s.offs[v+1]])
 	})
+	return s
+}
+
+// snapshotShardInto flattens one shard into a local CSR — offsets indexed
+// by slot within the shard, adjacency holding global vertex IDs — with the
+// same buffer-reuse contract as SnapshotInto.
+func (g *Graph) snapshotShardInto(sh *shardState, s *Snapshot, p int) *Snapshot {
+	if s == nil {
+		s = &Snapshot{}
+	}
+	n := len(sh.verts)
+	s.ensureOffs(n)
+	s.offs[0] = 0
+	for v := 0; v < n; v++ {
+		s.offs[v+1] = s.offs[v] + uint64(sh.verts[v].deg)
+	}
+	s.ensureAdj(s.offs[n])
+	parallel.For(n, p, func(v int) {
+		appendNeighborsVB(&sh.verts[v], s.adj[s.offs[v]:s.offs[v]:s.offs[v+1]])
+	})
+	return s
+}
+
+// ComposeSnapshots concatenates per-shard local snapshots (in shard order,
+// with bases[i] the first global ID of shard i) into one flat full-graph
+// CSR of n vertices. Gaps — ranges no shard's snapshot covers yet, which
+// happen when the vertex space has grown past a shard's last publish —
+// flatten to degree-0 vertices. It is the lazy materialization step behind
+// a composed serving view's flat CSR.
+func ComposeSnapshots(parts []*Snapshot, bases []uint32, n uint32) *Snapshot {
+	s := &Snapshot{}
+	s.ensureOffs(int(n))
+	s.offs[0] = 0
+	var m uint64
+	for i, part := range parts {
+		for v := uint32(0); v < part.NumVertices(); v++ {
+			gv := bases[i] + v
+			if gv >= n {
+				break
+			}
+			m += uint64(part.Degree(v))
+			s.offs[gv+1] = m
+		}
+		// Fill the gap up to the next shard's base (or n).
+		hi := n
+		if i+1 < len(parts) {
+			hi = bases[i+1]
+		}
+		for gv := bases[i] + part.NumVertices(); gv < hi; gv++ {
+			s.offs[gv+1] = m
+		}
+	}
+	s.ensureAdj(m)
+	off := uint64(0)
+	for _, part := range parts {
+		off += uint64(copy(s.adj[off:], part.adj))
+	}
 	return s
 }
 

@@ -172,8 +172,9 @@ var numShards = func() int {
 // cache lines so concurrent workers do not contend on one word.
 type Counter struct {
 	desc
-	shards   []counterShard
-	perShard bool // export one series per shard (worker="i") instead of a sum
+	shards     []counterShard
+	perShard   bool   // export one series per shard instead of a sum
+	shardLabel string // label naming the per-shard series index; "" means "worker"
 }
 
 // NewCounter registers a counter in Default. labels is a literal Prometheus
@@ -196,8 +197,17 @@ func NewCounterIn(r *Registry, name, labels, help string) *Counter {
 // separate series labelled worker="i" (zero shards are skipped); shard w is
 // worker w's private slot via AddShard. Value still returns the sum.
 func NewPerWorkerCounter(name, labels, help string) *Counter {
+	return NewPerIndexCounter(name, labels, help, "worker")
+}
+
+// NewPerIndexCounter is NewPerWorkerCounter with a caller-chosen label
+// naming the index dimension (e.g. shard="i" for the serving layer's
+// per-shard writer metrics). Slot i is index i's private series via
+// AddShard; Value still returns the sum.
+func NewPerIndexCounter(name, labels, help, indexLabel string) *Counter {
 	c := NewCounter(name, labels, help)
 	c.perShard = true
+	c.shardLabel = indexLabel
 	return c
 }
 
@@ -234,11 +244,19 @@ func (c *Counter) Value() uint64 {
 	return t
 }
 
+// indexLabel returns the label naming the per-shard series dimension.
+func (c *Counter) indexLabel() string {
+	if c.shardLabel == "" {
+		return "worker"
+	}
+	return c.shardLabel
+}
+
 func (c *Counter) promLines(dst []string) []string {
 	if c.perShard {
 		for i := range c.shards {
 			if v := c.shards[i].v.Load(); v != 0 {
-				dst = append(dst, fmt.Sprintf("%s %d", c.series(fmt.Sprintf(`worker="%d"`, i)), v))
+				dst = append(dst, fmt.Sprintf("%s %d", c.series(fmt.Sprintf(`%s="%d"`, c.indexLabel(), i)), v))
 			}
 		}
 		if len(dst) == 0 {
@@ -256,7 +274,7 @@ func (c *Counter) snapshotValue() any {
 	per := map[string]uint64{}
 	for i := range c.shards {
 		if v := c.shards[i].v.Load(); v != 0 {
-			per[fmt.Sprintf("worker%d", i)] = v
+			per[fmt.Sprintf("%s%d", c.indexLabel(), i)] = v
 		}
 	}
 	return map[string]any{"total": c.Value(), "workers": per}
@@ -297,6 +315,74 @@ func (g *Gauge) promLines(dst []string) []string {
 }
 
 func (g *Gauge) snapshotValue() any { return g.Value() }
+
+// ---------------------------------------------------------------------------
+// IndexedGauge
+
+// gaugeSlot is one padded IndexedGauge slot; touched tracks whether the
+// slot was ever set so export can skip unused indexes.
+type gaugeSlot struct {
+	v       atomic.Int64
+	touched atomic.Bool
+	_       [cacheLine - 9]byte
+}
+
+// IndexedGauge is a family of gauges indexed by a small integer (shard or
+// worker ID), each on its own padded cache line, exported as one series
+// per touched index. Registration happens once at package init, so the
+// slot count is fixed (indexes wrap by mask, like Counter shards); only
+// indexes that were ever Set are exported.
+type IndexedGauge struct {
+	desc
+	label string
+	slots []gaugeSlot
+}
+
+// NewIndexedGauge registers an indexed gauge family in Default. indexLabel
+// names the index dimension in exported series (e.g. shard="0").
+func NewIndexedGauge(name, labels, help, indexLabel string) *IndexedGauge {
+	g := &IndexedGauge{
+		desc:  desc{name: name, labels: labels, help: help, typ: "gauge"},
+		label: indexLabel,
+		slots: make([]gaugeSlot, numShards),
+	}
+	Default.register(g)
+	return g
+}
+
+// Set stores v into index i's slot.
+func (g *IndexedGauge) Set(i int, v int64) {
+	s := &g.slots[i&(len(g.slots)-1)]
+	s.v.Store(v)
+	s.touched.Store(true)
+}
+
+// Value returns index i's current value.
+func (g *IndexedGauge) Value(i int) int64 {
+	return g.slots[i&(len(g.slots)-1)].v.Load()
+}
+
+func (g *IndexedGauge) promLines(dst []string) []string {
+	for i := range g.slots {
+		if g.slots[i].touched.Load() {
+			dst = append(dst, fmt.Sprintf("%s %d", g.series(fmt.Sprintf(`%s="%d"`, g.label, i)), g.slots[i].v.Load()))
+		}
+	}
+	if len(dst) == 0 {
+		dst = append(dst, fmt.Sprintf("%s 0", g.series("")))
+	}
+	return dst
+}
+
+func (g *IndexedGauge) snapshotValue() any {
+	per := map[string]int64{}
+	for i := range g.slots {
+		if g.slots[i].touched.Load() {
+			per[fmt.Sprintf("%s%d", g.label, i)] = g.slots[i].v.Load()
+		}
+	}
+	return per
+}
 
 // ---------------------------------------------------------------------------
 // Histogram

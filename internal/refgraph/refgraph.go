@@ -20,6 +20,13 @@ func New(n uint32) *Graph {
 // NumVertices returns the number of vertex slots.
 func (g *Graph) NumVertices() uint32 { return uint32(len(g.adj)) }
 
+// EnsureVertices grows the vertex space to at least n slots.
+func (g *Graph) EnsureVertices(n uint32) {
+	for uint32(len(g.adj)) < n {
+		g.adj = append(g.adj, nil)
+	}
+}
+
 // NumEdges returns the number of directed edges currently stored.
 func (g *Graph) NumEdges() uint64 { return g.m }
 

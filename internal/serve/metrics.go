@@ -20,4 +20,18 @@ var (
 		"retired snapshots whose epoch drained and whose buffers were recycled")
 	obsSnapReuse = obs.NewCounter("lsgraph_store_snapshot_reuse_total", "",
 		"publishes that reused a reclaimed snapshot's buffers instead of allocating")
+
+	// Per-shard series (one per shard writer, labelled shard="i"). The
+	// aggregate metrics above stay maintained so Shards=1 dashboards are
+	// unchanged; these expose the per-pipeline breakdown sharding adds.
+	obsShardQueueDepth = obs.NewIndexedGauge("lsgraph_store_shard_queue_depth", "",
+		"update batches queued for one shard's writer goroutine", "shard")
+	obsShardPublishLag = obs.NewIndexedGauge("lsgraph_store_shard_publish_lag", "",
+		"epochs between a shard's newest snapshot and its oldest still-pinned one", "shard")
+	obsShardApplied = obs.NewPerIndexCounter("lsgraph_store_shard_batches_applied_total", "",
+		"update batches applied, by shard writer", "shard")
+	obsShardRouted = obs.NewPerIndexCounter("lsgraph_store_shard_edges_routed_total", "",
+		"edges routed to each shard by the batch scatter", "shard")
+	obsShardSkew = obs.NewGauge("lsgraph_store_shard_skew_pct", "",
+		"last scattered batch's max-shard deviation from an even split, percent (0=even, capped at 100)")
 )

@@ -1,23 +1,38 @@
-// Package serve is LSGraph's concurrent serving layer: a single-writer /
-// multi-reader Store that lets batch updates and analytics run at the same
-// time — the paper's interleaved streaming setting (§6), which the bare
-// core.Graph cannot provide because its updates require exclusive access.
+// Package serve is LSGraph's concurrent serving layer: a sharded
+// writer / multi-reader Store that lets batch updates and analytics run at
+// the same time — the paper's interleaved streaming setting (§6), which
+// the bare core.Graph cannot provide because its updates require exclusive
+// access.
 //
-// Design, in one paragraph: all InsertBatch/DeleteBatch calls enqueue into
-// a bounded queue drained by one writer goroutine, so the engine's
-// updates-are-exclusive contract holds by construction; under backpressure
-// the queue degrades gracefully by merging same-op batches instead of
-// blocking callers. After every applied batch the writer flattens the
-// graph into an immutable core.Snapshot (reusing a reclaimed snapshot's
-// buffers when capacity allows, flattening in parallel) and publishes it
-// with one atomic pointer swap. Readers pin the published snapshot with an
-// epoch-refcount protocol that is two atomic adds per acquire, run any
-// analytics kernel on the pinned view, and release; a retired snapshot's
-// buffers are recycled only once its epoch has drained (refcount zero
-// observed after it stopped being current). Aspen gets this concurrency
-// from purely functional trees and LSMGraph from versioned multi-level
-// CSRs; the Store gets it from epoch-pinned CSR snapshots over the
-// locality-centric live graph.
+// Design, in one paragraph: the vertex space is partitioned into S
+// contiguous shards (core.Config.Shards, default 1), each drained by its
+// own writer goroutine. InsertBatch/DeleteBatch scatter a mixed batch by
+// source vertex and enqueue each shard's slice into that shard's bounded
+// queue, so the engine's per-vertex exclusivity contract holds by
+// construction — a vertex lives in exactly one shard, and one goroutine
+// owns each shard. Under backpressure a queue degrades gracefully by
+// merging same-op batches instead of blocking callers. After every applied
+// batch a shard writer flattens its own shard into an immutable local
+// core.Snapshot (reusing a reclaimed snapshot's buffers when capacity
+// allows) and publishes it with one atomic pointer swap. Readers compose a
+// view by pinning every shard's current snapshot with the epoch-refcount
+// protocol — two atomic adds per shard — run any analytics kernel on the
+// composed view, and release; a retired snapshot's buffers are recycled
+// only once its epoch has drained. Aspen gets this concurrency from purely
+// functional trees and LSMGraph from per-range versioned multi-level CSRs;
+// the Store gets it from epoch-pinned CSR snapshots over the
+// locality-centric live shards.
+//
+// Consistency model: each pinned shard snapshot is an exact prefix of that
+// shard's applied batch sequence, and enqueue order is preserved per
+// shard, so a composed view is "per-shard consistent": all edges of one
+// source vertex always appear atomically, inserts/deletes of the same
+// edge are never reordered, and the view's epoch (the sum of shard
+// epochs) is monotone across acquires. What the composed view does not
+// promise is a single global cut across shards — two edges routed to
+// different shards may become visible in either order, the price of
+// parallel ingest. With Shards=1 the old single-writer semantics hold
+// bit for bit.
 //
 // Memory ordering: correctness of reclamation rests on Go's
 // sequentially-consistent atomics. A reader acquires with
@@ -31,6 +46,16 @@
 // decrements, and retries without ever dereferencing the recycled buffers.
 // A retired snapshot can never pass the recheck because each publish
 // allocates a fresh epoch descriptor and epochs only move forward.
+//
+// Vertex-space growth: enqueue computes the batch's required bound
+// (1 + max referenced ID) and reserves it in the logical vertex space
+// immediately (core.Graph.ReserveVertices, an atomic max); the owning
+// shard writer materializes storage with Shard.EnsureVertices before
+// applying. Reserving at enqueue time guarantees that by the time any
+// snapshot containing an edge (v,u) is published, every composed view
+// pinning it reports NumVertices > u — kernels indexing per-vertex arrays
+// by neighbor ID never see an out-of-range ID, even though u's own shard
+// may not have published (u simply still has degree 0 there).
 package serve
 
 import (
@@ -45,14 +70,15 @@ import (
 
 // Options configures a Store.
 type Options struct {
-	// MaxQueue is the soft bound on queued update batches. Once the queue
-	// holds MaxQueue entries, a new batch whose op matches the newest
-	// queued entry is merged into it (set semantics make concatenation of
-	// same-op batches equivalent to applying them back to back) instead of
-	// growing the queue; callers are never blocked. Default 64.
+	// MaxQueue is the soft bound on queued update batches per shard. Once
+	// a shard's queue holds MaxQueue entries, a new batch whose op matches
+	// the newest queued entry is merged into it (set semantics make
+	// concatenation of same-op batches equivalent to applying them back to
+	// back) instead of growing the queue; callers are never blocked.
+	// Default 64.
 	MaxQueue int
-	// MaxFree bounds the pool of reclaimed snapshots kept for buffer
-	// reuse by the republish loop. Default 4.
+	// MaxFree bounds the pool of reclaimed snapshots each shard writer
+	// keeps for buffer reuse by the republish loop. Default 4.
 	MaxFree int
 }
 
@@ -65,8 +91,8 @@ func (o *Options) sanitize() {
 	}
 }
 
-// Batch ops queued for the writer. opFlush is a sentinel whose position in
-// the queue marks a Flush call's happens-after point.
+// Batch ops queued for a shard writer. opFlush is a sentinel whose
+// position in the queue marks a Flush call's happens-after point.
 const (
 	opInsert = iota
 	opDelete
@@ -74,57 +100,74 @@ const (
 )
 
 // pending is one queued update batch (or flush sentinel). src/dst are
-// owned by the Store: enqueue copies the caller's slices so the caller may
-// reuse its buffers immediately.
+// owned by the Store: enqueue copies (or scatters) the caller's slices so
+// the caller may reuse its buffers immediately. bound is the vertex-space
+// size the batch requires (1 + max referenced ID); the writer ensures it
+// before applying.
 type pending struct {
 	op       int
 	src, dst []uint32
+	bound    uint32
 	done     chan struct{} // flush sentinel only
 }
 
-// epochSnap is one published snapshot with its epoch and reader refcount.
-// refs counts pinned readers; the snapshot's buffers are recycled only
-// after it has been retired (a newer epoch swapped in) and refs has
-// drained to zero.
+// epochSnap is one published shard snapshot with its epoch and reader
+// refcount. refs counts pinned readers; the snapshot's buffers are
+// recycled only after it has been retired (a newer epoch swapped in) and
+// refs has drained to zero.
 type epochSnap struct {
 	snap  *core.Snapshot
 	epoch uint64
 	refs  atomic.Int64
 }
 
-// testHookBeforeApply, when non-nil, runs on the writer goroutine before
-// each batch is applied. Tests use it to hold the writer mid-drain and
+// testHookBeforeApply, when non-nil, runs on a writer goroutine before
+// each batch is applied. Tests use it to hold a writer mid-drain and
 // exercise queue coalescing deterministically.
 var testHookBeforeApply func()
 
-// Store is the single-writer / multi-reader serving layer over one
-// core.Graph. Updates (InsertBatch, DeleteBatch) enqueue and return
-// immediately; reads always succeed against the most recently published
-// snapshot. Store implements engine.Graph and engine.Update, so every
-// analytics kernel and the benchmark harness run on a live Store
-// unmodified.
-//
-// Store's own read methods pin and release the current snapshot per call:
-// they are individually consistent but successive calls may observe
-// different epochs. A kernel that needs one coherent graph for its whole
-// run should acquire a View and run against that.
-type Store struct {
-	g   *core.Graph
-	opt Options
+// shardWriter is one shard's update pipeline: a bounded queue drained by
+// one goroutine that applies batches to its core.Shard and republishes the
+// shard's snapshot after each. All mutable state except the queue is owned
+// by the writer goroutine.
+type shardWriter struct {
+	s     *Store
+	shard core.Shard
+	idx   int
 
 	mu     sync.Mutex
 	queue  []pending
 	closed bool
 
 	wake chan struct{} // cap 1; tokens coalesce
-	done chan struct{} // closed when the writer exits
+	done chan struct{} // closed when this writer exits
 
 	cur atomic.Pointer[epochSnap]
 
-	// Writer-goroutine-owned state: snapshots retired but not yet
-	// drained, and drained snapshots retained for buffer reuse.
+	// Writer-goroutine-owned: snapshots retired but not yet drained, and
+	// drained snapshots retained for buffer reuse.
 	retired []*epochSnap
 	free    []*core.Snapshot
+}
+
+// Store is the sharded-writer / multi-reader serving layer over one
+// core.Graph. Updates (InsertBatch, DeleteBatch) enqueue and return
+// immediately; reads always succeed against the most recently published
+// shard snapshots. Store implements engine.Graph and engine.Update, so
+// every analytics kernel and the benchmark harness run on a live Store
+// unmodified.
+//
+// Store's own read methods pin and release the owning shard's current
+// snapshot per call: they are individually consistent but successive calls
+// may observe different epochs. A kernel that needs one coherent graph for
+// its whole run should acquire a View and run against that.
+type Store struct {
+	g   *core.Graph
+	opt Options
+
+	ws     []*shardWriter
+	closed atomic.Bool
+	done   chan struct{} // closed when every shard writer has exited
 
 	stats struct {
 		batchesApplied     atomic.Uint64
@@ -144,22 +187,44 @@ var (
 	_ engine.Graph  = (*View)(nil)
 )
 
-// New wraps g in a Store and starts its writer goroutine. The Store takes
+// New wraps g in a Store and starts one writer goroutine per shard
+// (g's core.Config.Shards; 1 unless configured otherwise). The Store takes
 // ownership of g: the caller must not call any method on g afterwards.
-// The initial state of g is published immediately as epoch 0, so reads
-// never wait for a first batch.
+// The initial state of every shard is published immediately as its epoch
+// 0, so reads never wait for a first batch.
 func New(g *core.Graph, opt Options) *Store {
 	opt.sanitize()
 	s := &Store{
 		g:    g,
 		opt:  opt,
-		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
-	s.publish()
-	go s.writer()
+	s.ws = make([]*shardWriter, g.NumShards())
+	for i := range s.ws {
+		w := &shardWriter{
+			s:     s,
+			shard: g.Shard(i),
+			idx:   i,
+			wake:  make(chan struct{}, 1),
+			done:  make(chan struct{}),
+		}
+		w.publish()
+		s.ws[i] = w
+	}
+	for _, w := range s.ws {
+		go w.run()
+	}
+	go func() {
+		for _, w := range s.ws {
+			<-w.done
+		}
+		close(s.done)
+	}()
 	return s
 }
+
+// Shards returns the number of shard writer pipelines.
+func (s *Store) Shards() int { return len(s.ws) }
 
 // InsertBatch enqueues the directed edges (src[i] -> dst[i]) for
 // insertion and returns without waiting for them to apply. The slices are
@@ -168,9 +233,9 @@ func New(g *core.Graph, opt Options) *Store {
 func (s *Store) InsertBatch(src, dst []uint32) { s.enqueue(opInsert, src, dst) }
 
 // DeleteBatch enqueues the directed edges for deletion, with the same
-// asynchronous contract as InsertBatch. Order between enqueued batches is
-// preserved, so an insert followed by a delete of the same edge leaves it
-// absent.
+// asynchronous contract as InsertBatch. Enqueue order is preserved per
+// shard, so an insert followed by a delete of the same edge leaves it
+// absent (the two land in the same shard's queue: routing is by source).
 func (s *Store) DeleteBatch(src, dst []uint32) { s.enqueue(opDelete, src, dst) }
 
 func (s *Store) enqueue(op int, src, dst []uint32) {
@@ -178,40 +243,107 @@ func (s *Store) enqueue(op int, src, dst []uint32) {
 		panic(fmt.Sprintf("serve: src/dst length mismatch (%d vs %d); every edge needs both endpoints",
 			len(src), len(dst)))
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		panic("serve: update on closed Store")
 	}
-	if n := len(s.queue); n >= s.opt.MaxQueue && s.queue[n-1].op == op {
+	s.stats.edgesEnqueued.Add(uint64(len(src)))
+	if len(s.ws) == 1 {
+		// Single shard: one copy pass that also finds the required bound.
+		var bound uint32
+		cs := make([]uint32, len(src))
+		cd := make([]uint32, len(dst))
+		for i := range src {
+			cs[i], cd[i] = src[i], dst[i]
+			if src[i]+1 > bound {
+				bound = src[i] + 1
+			}
+			if dst[i]+1 > bound {
+				bound = dst[i] + 1
+			}
+		}
+		s.g.ReserveVertices(bound)
+		s.ws[0].enqueue(op, cs, cd, bound)
+		return
+	}
+	parts, bound := s.g.ScatterBatch(src, dst)
+	s.g.ReserveVertices(bound)
+	if obs.Enabled() {
+		skew := shardSkewPct(parts)
+		obsShardSkew.Set(skew)
+	}
+	for i, part := range parts {
+		if len(part.Src) == 0 {
+			continue
+		}
+		if obs.Enabled() {
+			obsShardRouted.AddShard(i, uint64(len(part.Src)))
+		}
+		s.ws[i].enqueue(op, part.Src, part.Dst, bound)
+	}
+}
+
+// shardSkewPct returns how far the largest routed part deviates from a
+// perfectly even split, in percent (0 = even, 100 = one shard got twice
+// its fair share, or everything went to one shard of many).
+func shardSkewPct(parts []core.SubBatch) int64 {
+	total, max := 0, 0
+	for _, p := range parts {
+		total += len(p.Src)
+		if len(p.Src) > max {
+			max = len(p.Src)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	fair := float64(total) / float64(len(parts))
+	skew := (float64(max)/fair - 1) * 100
+	if skew < 0 {
+		skew = 0
+	}
+	if skew > 100 {
+		skew = 100
+	}
+	return int64(skew)
+}
+
+// enqueue adds an owned batch to this shard's queue, merging under
+// backpressure.
+func (w *shardWriter) enqueue(op int, src, dst []uint32, bound uint32) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		panic("serve: update on closed Store")
+	}
+	if n := len(w.queue); n >= w.s.opt.MaxQueue && w.queue[n-1].op == op {
 		// Backpressure: merge into the newest queued batch of the same op
 		// rather than growing the queue or blocking the caller.
-		last := &s.queue[n-1]
+		last := &w.queue[n-1]
 		last.src = append(last.src, src...)
 		last.dst = append(last.dst, dst...)
-		s.stats.coalescedBatches.Add(1)
+		if bound > last.bound {
+			last.bound = bound
+		}
+		w.s.stats.coalescedBatches.Add(1)
 		if obs.Enabled() {
 			obsCoalesced.Inc()
 		}
 	} else {
-		s.queue = append(s.queue, pending{
-			op:  op,
-			src: append([]uint32(nil), src...),
-			dst: append([]uint32(nil), dst...),
-		})
+		w.queue = append(w.queue, pending{op: op, src: src, dst: dst, bound: bound})
 	}
-	s.stats.edgesEnqueued.Add(uint64(len(src)))
+	depth := len(w.queue)
+	w.mu.Unlock()
 	if obs.Enabled() {
-		obsQueueDepth.Set(int64(len(s.queue)))
+		obsQueueDepth.Set(int64(depth))
+		obsShardQueueDepth.Set(w.idx, int64(depth))
 	}
-	s.mu.Unlock()
-	s.signal()
+	w.signal()
 }
 
 // signal wakes the writer; the buffered token coalesces repeated signals.
-func (s *Store) signal() {
+func (w *shardWriter) signal() {
 	select {
-	case s.wake <- struct{}{}:
+	case w.wake <- struct{}{}:
 	default:
 	}
 }
@@ -220,54 +352,72 @@ func (s *Store) signal() {
 // applied and published. Updates enqueued concurrently with Flush may or
 // may not be included.
 func (s *Store) Flush() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		<-s.done
 		return
 	}
-	ch := make(chan struct{})
-	s.queue = append(s.queue, pending{op: opFlush, done: ch})
-	s.mu.Unlock()
-	s.signal()
-	<-ch
+	chs := make([]chan struct{}, 0, len(s.ws))
+	for _, w := range s.ws {
+		w.mu.Lock()
+		if w.closed {
+			// Writer is shutting down; it drains everything before exit,
+			// so waiting for its exit subsumes the flush.
+			w.mu.Unlock()
+			chs = append(chs, nil)
+			continue
+		}
+		ch := make(chan struct{})
+		w.queue = append(w.queue, pending{op: opFlush, done: ch})
+		w.mu.Unlock()
+		w.signal()
+		chs = append(chs, ch)
+	}
+	for i, ch := range chs {
+		if ch == nil {
+			<-s.ws[i].done
+		} else {
+			<-ch
+		}
+	}
 }
 
-// Close drains the queue, applies and publishes any remaining batches,
-// stops the writer goroutine, and waits for it to exit. Updates must not
-// be enqueued concurrently with or after Close; they panic. Views acquired
-// before Close stay valid (snapshots are immutable and GC-managed).
+// Close drains every shard's queue, applies and publishes any remaining
+// batches, stops the writer goroutines, and waits for them to exit.
+// Updates must not be enqueued concurrently with or after Close; they
+// panic. Views acquired before Close stay valid (snapshots are immutable
+// and GC-managed).
 func (s *Store) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		<-s.done
 		return
 	}
-	s.closed = true
-	s.mu.Unlock()
-	s.signal()
+	for _, w := range s.ws {
+		w.mu.Lock()
+		w.closed = true
+		w.mu.Unlock()
+		w.signal()
+	}
 	<-s.done
 }
 
-// writer is the single goroutine that applies updates and publishes
-// snapshots. It drains the whole queue each cycle, applying each entry as
-// one engine batch and republishing after each, so readers observe every
-// applied batch as its own epoch.
-func (s *Store) writer() {
-	defer close(s.done)
+// run is a shard writer's goroutine: it applies this shard's updates and
+// publishes its snapshots. It drains the whole queue each cycle, applying
+// each entry as one engine batch and republishing after each, so readers
+// observe every applied batch as its own shard epoch.
+func (w *shardWriter) run() {
+	defer close(w.done)
 	for {
-		s.mu.Lock()
-		q := s.queue
-		s.queue = nil
-		closed := s.closed
-		s.mu.Unlock()
+		w.mu.Lock()
+		q := w.queue
+		w.queue = nil
+		closed := w.closed
+		w.mu.Unlock()
 		if len(q) == 0 {
 			if closed {
-				s.reclaim()
+				w.reclaim()
 				return
 			}
-			<-s.wake
+			<-w.wake
 			continue
 		}
 		for i := range q {
@@ -279,62 +429,66 @@ func (s *Store) writer() {
 			if testHookBeforeApply != nil {
 				testHookBeforeApply()
 			}
-			if b.op == opInsert {
-				s.g.InsertBatch(b.src, b.dst)
-			} else {
-				s.g.DeleteBatch(b.src, b.dst)
+			if b.bound > 0 {
+				w.shard.EnsureVertices(b.bound)
 			}
-			s.stats.batchesApplied.Add(1)
+			if b.op == opInsert {
+				w.shard.InsertBatch(b.src, b.dst)
+			} else {
+				w.shard.DeleteBatch(b.src, b.dst)
+			}
+			w.s.stats.batchesApplied.Add(1)
 			if obs.Enabled() {
 				obsApplied.Inc()
+				obsShardApplied.AddShard(w.idx, 1)
 			}
-			s.publish()
-			q[i] = pending{} // release the copied batch for GC
+			w.publish()
+			q[i] = pending{} // release the scattered batch for GC
 		}
 	}
 }
 
-// publish flattens the live graph into a snapshot (reusing a drained
-// snapshot's buffers when available), swaps it in as the new epoch, and
-// retires the previous one. Writer goroutine only (and New, before the
-// writer starts).
-func (s *Store) publish() {
+// publish flattens the writer's shard into a local snapshot (reusing a
+// drained snapshot's buffers when available), swaps it in as the shard's
+// new epoch, and retires the previous one. Writer goroutine only (and
+// New, before the writer starts).
+func (w *shardWriter) publish() {
 	t := obs.StartTimer()
 	var reuse *core.Snapshot
-	if n := len(s.free); n > 0 {
-		reuse = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		s.stats.snapshotReuses.Add(1)
+	if n := len(w.free); n > 0 {
+		reuse = w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+		w.s.stats.snapshotReuses.Add(1)
 		if obs.Enabled() {
 			obsSnapReuse.Inc()
 		}
 	}
 	var next uint64
-	if old := s.cur.Load(); old != nil {
+	if old := w.cur.Load(); old != nil {
 		next = old.epoch + 1
 	}
-	e := &epochSnap{snap: s.g.SnapshotInto(reuse), epoch: next}
-	if old := s.cur.Swap(e); old != nil {
-		s.retired = append(s.retired, old)
+	e := &epochSnap{snap: w.shard.SnapshotInto(reuse), epoch: next}
+	if old := w.cur.Swap(e); old != nil {
+		w.retired = append(w.retired, old)
 	}
-	s.stats.snapshotsPublished.Add(1)
-	s.reclaim()
+	w.s.stats.snapshotsPublished.Add(1)
+	w.reclaim()
 	obsPublish.ObserveSince(t)
 }
 
 // reclaim recycles retired snapshots whose epoch has drained (refcount
 // zero observed after retirement; see the package comment for why that
 // observation is safe). Writer goroutine only.
-func (s *Store) reclaim() {
-	kept := s.retired[:0]
-	for _, e := range s.retired {
+func (w *shardWriter) reclaim() {
+	kept := w.retired[:0]
+	for _, e := range w.retired {
 		if e.refs.Load() == 0 {
-			if len(s.free) < s.opt.MaxFree {
-				s.free = append(s.free, e.snap)
+			if len(w.free) < w.s.opt.MaxFree {
+				w.free = append(w.free, e.snap)
 			}
 			e.snap = nil
-			s.stats.snapshotsReclaimed.Add(1)
+			w.s.stats.snapshotsReclaimed.Add(1)
 			if obs.Enabled() {
 				obsReclaims.Inc()
 			}
@@ -342,60 +496,154 @@ func (s *Store) reclaim() {
 			kept = append(kept, e)
 		}
 	}
-	for i := len(kept); i < len(s.retired); i++ {
-		s.retired[i] = nil
+	for i := len(kept); i < len(w.retired); i++ {
+		w.retired[i] = nil
 	}
-	s.retired = kept
+	w.retired = kept
 	if obs.Enabled() {
 		var lag int64
-		if len(s.retired) > 0 {
-			lag = int64(s.cur.Load().epoch - s.retired[0].epoch)
+		if len(w.retired) > 0 {
+			lag = int64(w.cur.Load().epoch - w.retired[0].epoch)
 		}
 		obsEpochLag.Set(lag)
+		obsShardPublishLag.Set(w.idx, lag)
 	}
 }
 
-// acquire pins the current snapshot: increment its refcount, then recheck
-// that it is still current. The recheck is what makes the writer's
+// acquire pins the shard's current snapshot: increment its refcount, then
+// recheck that it is still current. The recheck is what makes the writer's
 // refs==0 observation a proof that no reader holds or will obtain the
 // snapshot (sequentially consistent atomics; see the package comment).
-func (s *Store) acquire() *epochSnap {
+func (w *shardWriter) acquire() *epochSnap {
 	for {
-		e := s.cur.Load()
+		e := w.cur.Load()
 		e.refs.Add(1)
-		if s.cur.Load() == e {
+		if w.cur.Load() == e {
 			return e
 		}
 		e.refs.Add(-1)
 	}
 }
 
-func (s *Store) release(e *epochSnap) { e.refs.Add(-1) }
+func (w *shardWriter) release(e *epochSnap) { e.refs.Add(-1) }
 
-// View is an epoch-pinned, immutable CSR view of the Store. It embeds
-// *core.Snapshot, so every read method (NumVertices, NumEdges, Degree,
-// Neighbors, ForEachNeighbor, ForEachNeighborUntil) and every analytics
-// kernel written against engine.Graph works on it directly, concurrently
-// with ongoing ingestion. Call Release when done; an unreleased View pins
-// its snapshot's buffers for the life of the Store.
+// View is an epoch-pinned, immutable composed view of the Store: one
+// pinned snapshot per shard plus the vertex bound read at acquire time.
+// Every read method (NumVertices, NumEdges, Degree, Neighbors,
+// ForEachNeighbor, ForEachNeighborUntil) and every analytics kernel
+// written against engine.Graph works on it directly, concurrently with
+// ongoing ingestion. Call Release when done; an unreleased View pins its
+// snapshots' buffers for the life of the Store.
 type View struct {
-	*core.Snapshot
 	s     *Store
-	e     *epochSnap
+	es    []*epochSnap
 	epoch uint64
+	nv    uint32
+	m     uint64
+
+	flatOnce sync.Once
+	flat     *core.Snapshot
 }
 
-// View acquires the most recently published snapshot and returns it
-// pinned. Always non-blocking with respect to the writer: a View is
-// available even mid-batch. Safe to call from any goroutine.
+// View acquires the most recently published snapshot of every shard and
+// returns them pinned as one composed view. Always non-blocking with
+// respect to the writers: a View is available even mid-batch. Safe to call
+// from any goroutine, including after Close.
 func (s *Store) View() *View {
-	e := s.acquire()
-	return &View{Snapshot: e.snap, s: s, e: e, epoch: e.epoch}
+	v := &View{s: s, es: make([]*epochSnap, len(s.ws))}
+	for i, w := range s.ws {
+		e := w.acquire()
+		v.es[i] = e
+		v.epoch += e.epoch
+		v.m += e.snap.NumEdges()
+	}
+	// Read the vertex bound after pinning: it is then at least as large as
+	// the bound reserved before any pinned snapshot's batch was published,
+	// so every neighbor ID in the view is < nv (see the package comment).
+	v.nv = s.g.NumVertices()
+	return v
 }
 
-// Epoch returns the epoch this view pinned: 0 for the Store's initial
-// state, incremented by one per applied batch. Valid after Release.
+// Epoch returns the sum of the shard epochs this view pinned: 0 for the
+// Store's initial state, incremented by one per applied batch anywhere in
+// the store. Monotone across successively acquired views. Valid after
+// Release.
 func (v *View) Epoch() uint64 { return v.epoch }
+
+// NumVertices returns the view's vertex count: the logical vertex-space
+// bound at acquire time, which covers every ID any pinned adjacency
+// references.
+func (v *View) NumVertices() uint32 { return v.nv }
+
+// NumEdges returns the view's directed edge count, summed over the pinned
+// shard snapshots.
+func (v *View) NumEdges() uint64 { return v.m }
+
+// snapOf routes v to its pinned shard snapshot and local index. ok is
+// false when the ID is beyond the snapshot's materialized range (a vertex
+// reserved or grown after the shard's pinned publish): such a vertex has
+// degree 0 in this view.
+func (v *View) snapOf(u uint32) (*core.Snapshot, uint32, bool) {
+	i := v.s.g.ShardOf(u)
+	snap := v.es[i].snap
+	lu := u - v.s.g.Shard(i).Base()
+	return snap, lu, lu < snap.NumVertices()
+}
+
+// Degree returns u's out-degree at the view's epoch.
+func (v *View) Degree(u uint32) uint32 {
+	snap, lu, ok := v.snapOf(u)
+	if !ok {
+		return 0
+	}
+	return snap.Degree(lu)
+}
+
+// Neighbors returns u's sorted neighbors; the slice aliases pinned
+// snapshot storage and must not be mutated or used after Release.
+func (v *View) Neighbors(u uint32) []uint32 {
+	snap, lu, ok := v.snapOf(u)
+	if !ok {
+		return nil
+	}
+	return snap.Neighbors(lu)
+}
+
+// ForEachNeighbor applies f to u's neighbors in ascending order.
+func (v *View) ForEachNeighbor(u uint32, f func(w uint32)) {
+	for _, n := range v.Neighbors(u) {
+		f(n)
+	}
+}
+
+// ForEachNeighborUntil applies f in ascending order until it returns
+// false.
+func (v *View) ForEachNeighborUntil(u uint32, f func(w uint32) bool) {
+	for _, n := range v.Neighbors(u) {
+		if !f(n) {
+			return
+		}
+	}
+}
+
+// Flatten materializes the composed view as one flat full-graph CSR,
+// lazily on first call and cached for the view's lifetime. Use it when a
+// long-running kernel would otherwise pay the per-read shard routing, or
+// when a plain *core.Snapshot is needed. The returned snapshot owns its
+// storage, but is only built while the view is pinned: do not call after
+// Release.
+func (v *View) Flatten() *core.Snapshot {
+	v.flatOnce.Do(func() {
+		parts := make([]*core.Snapshot, len(v.es))
+		bases := make([]uint32, len(v.es))
+		for i, e := range v.es {
+			parts[i] = e.snap
+			bases[i] = v.s.g.Shard(i).Base()
+		}
+		v.flat = core.ComposeSnapshots(parts, bases, v.nv)
+	})
+	return v.flat
+}
 
 // Release unpins the view. The view's read methods must not be used
 // afterwards (its buffers may be recycled into a future snapshot).
@@ -403,65 +651,81 @@ func (v *View) Epoch() uint64 { return v.epoch }
 // with the view's own readers; callers sharing a View across goroutines
 // must release after those goroutines finish.
 func (v *View) Release() {
-	if v.e == nil {
+	if v.es == nil {
 		return
 	}
-	v.s.release(v.e)
-	v.e = nil
-	v.Snapshot = nil
+	for i, e := range v.es {
+		v.s.ws[i].release(e)
+	}
+	v.es = nil
 }
 
-// Epoch returns the Store's current epoch: the number of batches applied
-// and published since construction.
-func (s *Store) Epoch() uint64 { return s.cur.Load().epoch }
-
-// NumVertices returns the vertex count of the current snapshot.
-func (s *Store) NumVertices() uint32 {
-	e := s.acquire()
-	n := e.snap.NumVertices()
-	s.release(e)
-	return n
+// Epoch returns the Store's current epoch: the total number of batches
+// applied and published across all shards since construction.
+func (s *Store) Epoch() uint64 {
+	var e uint64
+	for _, w := range s.ws {
+		e += w.cur.Load().epoch
+	}
+	return e
 }
 
-// NumEdges returns the directed edge count of the current snapshot.
+// NumVertices returns the current logical vertex-space bound (including
+// vertices reserved by still-queued batches).
+func (s *Store) NumVertices() uint32 { return s.g.NumVertices() }
+
+// NumEdges returns the directed edge count summed over the shards'
+// current snapshots.
 func (s *Store) NumEdges() uint64 {
-	e := s.acquire()
-	m := e.snap.NumEdges()
-	s.release(e)
+	var m uint64
+	for _, w := range s.ws {
+		e := w.acquire()
+		m += e.snap.NumEdges()
+		w.release(e)
+	}
 	return m
 }
 
-// Degree returns v's out-degree in the current snapshot.
+// Degree returns v's out-degree in the owning shard's current snapshot.
 func (s *Store) Degree(v uint32) uint32 {
-	e := s.acquire()
-	d := e.snap.Degree(v)
-	s.release(e)
+	w := s.ws[s.g.ShardOf(v)]
+	e := w.acquire()
+	d := uint32(0)
+	if lv := v - w.shard.Base(); lv < e.snap.NumVertices() {
+		d = e.snap.Degree(lv)
+	}
+	w.release(e)
 	return d
 }
 
 // ForEachNeighbor applies f to v's out-neighbors in ascending order, on
-// the snapshot current at call time. The snapshot stays pinned for the
-// duration of the iteration, so f always sees one coherent adjacency even
-// while batches apply concurrently.
+// the owning shard's snapshot current at call time. The snapshot stays
+// pinned for the duration of the iteration, so f always sees one coherent
+// adjacency even while batches apply concurrently.
 func (s *Store) ForEachNeighbor(v uint32, f func(u uint32)) {
-	e := s.acquire()
-	e.snap.ForEachNeighbor(v, f)
-	s.release(e)
+	w := s.ws[s.g.ShardOf(v)]
+	e := w.acquire()
+	if lv := v - w.shard.Base(); lv < e.snap.NumVertices() {
+		e.snap.ForEachNeighbor(lv, f)
+	}
+	w.release(e)
 }
 
 // Stats is a point-in-time copy of the Store's always-on counters. These
 // are maintained with plain atomics independently of the obs registry, so
 // benchmarks and tests can read them without enabling metric collection.
 type Stats struct {
-	// BatchesApplied counts engine batches the writer has applied. With
-	// coalescing this can be lower than the number of enqueue calls.
+	// BatchesApplied counts engine batches the shard writers have applied.
+	// With coalescing this can be lower than the number of enqueue calls;
+	// with multiple shards one enqueue can apply as several shard batches.
 	BatchesApplied uint64
 	// EdgesEnqueued counts raw edges submitted via InsertBatch/DeleteBatch.
 	EdgesEnqueued uint64
 	// CoalescedBatches counts enqueue calls merged into an already-queued
 	// batch under backpressure.
 	CoalescedBatches uint64
-	// SnapshotsPublished counts published epochs (including epoch 0).
+	// SnapshotsPublished counts published shard epochs (including each
+	// shard's epoch 0).
 	SnapshotsPublished uint64
 	// SnapshotsReclaimed counts retired snapshots whose epoch drained and
 	// whose buffers were recycled or dropped.

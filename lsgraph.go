@@ -89,6 +89,17 @@ func WithWorkers(w int) Option {
 	return func(c *core.Config) { c.Workers = w }
 }
 
+// WithShards partitions the vertex space into s contiguous shards
+// (default 1). On a Graph, batch updates are scattered by source vertex
+// and the shards apply in parallel. On a Store, each shard additionally
+// gets its own writer goroutine, update queue, and independently
+// published snapshot, and View composes a consistent vector of per-shard
+// snapshots — the knob that scales concurrent ingest. With s == 1
+// behavior is identical to an unsharded engine.
+func WithShards(s int) Option {
+	return func(c *core.Config) { c.Shards = s }
+}
+
 // Graph is the LSGraph engine in the paper's phase-alternating streaming
 // model: updates must not run concurrently with reads or other updates;
 // reads are freely concurrent with each other. For concurrent ingest and

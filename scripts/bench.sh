@@ -2,14 +2,16 @@
 # bench.sh -- run the update/analytics benchmark sweep and record ns/op per
 # benchmark in BENCH_<tag>.json, the repo's performance-trajectory record.
 #
-# Usage: scripts/bench.sh [tag]     (default tag: pr2; or: make bench)
+# Usage: scripts/bench.sh [tag]     (default tag: the short git commit
+#        hash, or "dev" outside a git checkout; or: make bench TAG=mytag)
 # Env:   BENCHTIME=10x  pass a different -benchtime (default 1x, a smoke
 #        pace -- raise it for trustworthy numbers).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-tag="${1:-pr2}"
+default_tag=$(git rev-parse --short HEAD 2>/dev/null || echo dev)
+tag="${1:-$default_tag}"
 benchtime="${BENCHTIME:-1x}"
 out="BENCH_${tag}.json"
 raw=$(mktemp)

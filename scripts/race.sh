@@ -1,0 +1,18 @@
+#!/bin/sh
+# race.sh -- the single source of truth for the race-detector package list:
+# every package with real cross-goroutine traffic (the sharded serving
+# layer, the batch pipeline, the worker pool, and the sharded metrics
+# registry). Both `make race` and scripts/verify.sh run this script, so the
+# list cannot drift between them.
+#
+# Usage: scripts/race.sh [extra go-test flags...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go test -race "$@" \
+	lsgraph/internal/serve \
+	lsgraph/internal/core \
+	lsgraph/internal/parallel \
+	lsgraph/internal/obs \
+	lsgraph

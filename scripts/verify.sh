@@ -24,8 +24,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (serve, core, parallel, obs)"
-go test -race lsgraph/internal/serve lsgraph/internal/core lsgraph/internal/parallel lsgraph/internal/obs
+echo "== go test -race (scripts/race.sh)"
+sh scripts/race.sh
 
 echo "== benchmark smoke (-benchtime 1x)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null

@@ -1,0 +1,70 @@
+package lsgraph
+
+import "testing"
+
+// TestShardedGraphAndStoreEquivalence builds the same graph unsharded and
+// at several shard counts, through both the phase-alternating Graph and
+// the concurrent Store, and checks that structure and kernel results are
+// identical — WithShards is a pure partitioning of the same graph.
+func TestShardedGraphAndStoreEquivalence(t *testing.T) {
+	es := symEdges(t, 9, 4000, 21)
+	base := NewFromEdges(512, es)
+	wantCC := ConnectedComponents(base)
+	wantBFS := BFSLevels(base, 0)
+
+	for _, S := range []int{2, 4, 8} {
+		g := NewFromEdges(512, es, WithShards(S), WithWorkers(4))
+		if g.NumEdges() != base.NumEdges() {
+			t.Fatalf("S=%d: graph m=%d want %d", S, g.NumEdges(), base.NumEdges())
+		}
+		for v := uint32(0); v < 512; v++ {
+			if g.Degree(v) != base.Degree(v) {
+				t.Fatalf("S=%d: deg(%d)=%d want %d", S, v, g.Degree(v), base.Degree(v))
+			}
+		}
+
+		st := NewStore(512, WithShards(S), WithWorkers(4))
+		if st.Shards() != S {
+			t.Fatalf("Shards()=%d want %d", st.Shards(), S)
+		}
+		st.InsertEdges(es)
+		st.Flush()
+		v := st.View()
+		if v.NumEdges() != base.NumEdges() {
+			t.Fatalf("S=%d: view m=%d want %d", S, v.NumEdges(), base.NumEdges())
+		}
+		gotCC := ConnectedComponents(v)
+		gotBFS := BFSLevels(v, 0)
+		for u := uint32(0); u < 512; u++ {
+			if gotCC[u] != wantCC[u] {
+				t.Fatalf("S=%d: CC label of %d differs", S, u)
+			}
+			if gotBFS[u] != wantBFS[u] {
+				t.Fatalf("S=%d: BFS level of %d differs", S, u)
+			}
+		}
+		v.Release()
+		st.Close()
+	}
+}
+
+// TestStoreAutoGrowPublic checks the public-surface auto-grow contract:
+// inserting an edge beyond the store's vertex space grows it instead of
+// panicking, and the new vertices are readable after flush.
+func TestStoreAutoGrowPublic(t *testing.T) {
+	st := NewStore(4, WithShards(2))
+	defer st.Close()
+	st.InsertEdges([]Edge{{Src: 1000, Dst: 2}, {Src: 2, Dst: 1000}})
+	st.Flush()
+	if st.NumVertices() < 1001 {
+		t.Fatalf("NumVertices=%d, want >= 1001", st.NumVertices())
+	}
+	v := st.View()
+	defer v.Release()
+	if v.Degree(1000) != 1 || v.Neighbors(1000)[0] != 2 {
+		t.Fatalf("grown vertex: deg=%d ns=%v", v.Degree(1000), v.Neighbors(1000))
+	}
+	if got := BFS(v, 2); got[1000] != 2 {
+		t.Fatalf("BFS across grown space: parent[1000]=%d", got[1000])
+	}
+}

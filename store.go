@@ -6,17 +6,22 @@ import (
 )
 
 // Store is the concurrent serving layer over one LSGraph engine: a
-// single-writer / multi-reader wrapper that lets batch updates and
+// sharded-writer / multi-reader wrapper that lets batch updates and
 // analytics run at the same time, the capability the bare Graph's
 // alternating-phase contract rules out.
 //
-// All updates enqueue into a bounded queue drained by one writer
-// goroutine, which applies each batch and then publishes an immutable
-// snapshot of the whole graph as a new epoch. Under backpressure the
-// queue merges same-op batches instead of blocking callers. Readers pin
-// the newest epoch with View — two atomic operations — and run any
-// analytics on it while further batches apply; a retired snapshot's
-// buffers are recycled once no reader pins its epoch.
+// The vertex space is split into WithShards contiguous shards (default
+// 1), each drained by its own writer goroutine. Updates are scattered by
+// source vertex and enqueue into the owning shard's bounded queue; each
+// writer applies its batches and publishes an immutable snapshot of its
+// shard as a new shard epoch. Under backpressure a queue merges same-op
+// batches instead of blocking callers. Readers pin one snapshot per
+// shard with View — two atomic operations each — and run any analytics
+// on the composed view while further batches apply; a retired snapshot's
+// buffers are recycled once no reader pins its epoch. Vertex space grows
+// automatically: an update referencing an ID beyond the current bound
+// reserves it at enqueue time and the owning shard materializes storage
+// before applying, so unbounded ID streams need no explicit sizing.
 //
 // Store itself implements Reader by delegating each call to the current
 // snapshot, so the built-in kernels run directly on a live Store. Each
@@ -85,9 +90,13 @@ func (s *Store) View() *StoreView {
 	return &StoreView{v: s.st.View()}
 }
 
-// Epoch returns the store's current epoch: the number of update batches
-// applied and published since construction.
+// Epoch returns the store's current epoch: the total number of update
+// batches applied and published across all shards since construction.
 func (s *Store) Epoch() uint64 { return s.st.Epoch() }
+
+// Shards returns the number of shard writer pipelines (1 unless the
+// store was built with WithShards).
+func (s *Store) Shards() int { return s.st.Shards() }
 
 // NumVertices returns the vertex count of the current snapshot.
 func (s *Store) NumVertices() uint32 { return s.st.NumVertices() }
@@ -114,11 +123,14 @@ type StoreStats = serve.Stats
 // enqueued, coalesced batches, snapshots published/reclaimed/reused.
 func (s *Store) Stats() StoreStats { return s.st.Stats() }
 
-// StoreView is an epoch-pinned, immutable view of a Store. It implements
+// StoreView is an epoch-pinned, immutable view of a Store: one pinned
+// snapshot per shard, composed behind the Reader interface. It implements
 // Reader, so every built-in kernel (BFS, PageRank, ConnectedComponents,
 // TriangleCount, KCore, BC) and the EdgeMap primitive run on it while the
-// store keeps ingesting. A view is consistent: all its reads observe the
-// same epoch.
+// store keeps ingesting. A view is consistent per shard: all edges of one
+// source vertex appear atomically and never change while pinned. With
+// more than one shard there is no single global cut — two edges routed to
+// different shards may become visible in either order across views.
 type StoreView struct {
 	v *serve.View
 }
