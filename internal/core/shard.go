@@ -139,6 +139,9 @@ type SubBatch struct {
 // batch requires, which the serving layer feeds to Shard.EnsureVertices.
 // The returned sub-batches are freshly allocated and do not alias
 // src/dst, so callers may retain them after the input buffers are reused.
+// Parts share one backing array, but each part's capacity is pinned to its
+// length, so appending to a retained part reallocates rather than writing
+// into a sibling part.
 // ScatterBatch does not validate IDs against the current vertex space.
 func (g *Graph) ScatterBatch(src, dst []uint32) (parts []SubBatch, bound uint32) {
 	validateBatch("ScatterBatch", src, dst)
@@ -204,8 +207,12 @@ func (g *Graph) ScatterBatch(src, dst []uint32) (parts []SubBatch, bound uint32)
 
 	off := 0
 	for s := 0; s < S; s++ {
-		parts[s] = SubBatch{Src: srcOut[off : off+sizes[s]], Dst: dstOut[off : off+sizes[s]]}
-		off += sizes[s]
+		// Full slice expressions pin each part's capacity: a retained part
+		// that is appended to (serve's backpressure merge) reallocates
+		// instead of overwriting the next shard's slice of the backing array.
+		end := off + sizes[s]
+		parts[s] = SubBatch{Src: srcOut[off:end:end], Dst: dstOut[off:end:end]}
+		off = end
 	}
 	for _, m := range maxes {
 		if m+1 > bound {
@@ -246,8 +253,9 @@ func (g *Graph) scatterSeq(src, dst []uint32, parts []SubBatch) ([]SubBatch, uin
 	}
 	off = 0
 	for s := 0; s < S; s++ {
-		parts[s] = SubBatch{Src: srcOut[off : off+sizes[s]], Dst: dstOut[off : off+sizes[s]]}
-		off += sizes[s]
+		end := off + sizes[s]
+		parts[s] = SubBatch{Src: srcOut[off:end:end], Dst: dstOut[off:end:end]}
+		off = end
 	}
 	return parts, max + 1
 }

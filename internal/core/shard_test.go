@@ -176,6 +176,86 @@ func TestComposeSnapshots(t *testing.T) {
 	}
 }
 
+// TestComposeSnapshotsUnevenShards covers layouts where the shard ranges
+// do not divide n evenly — including bases at or beyond the logical bound
+// (n=5, S=4 gives span 2 and bases 0,2,4,6) — which used to index past the
+// composed offsets array in the gap-fill loop.
+func TestComposeSnapshotsUnevenShards(t *testing.T) {
+	for _, tc := range []struct {
+		n uint32
+		S int
+	}{
+		{5, 4}, {1, 8}, {3, 4}, {7, 3}, {9, 4}, {2, 2},
+	} {
+		g := New(tc.n, Config{Shards: tc.S})
+		src := make([]uint32, 0, 2*tc.n)
+		dst := make([]uint32, 0, 2*tc.n)
+		for v := uint32(0); v < tc.n; v++ {
+			src = append(src, v, v)
+			dst = append(dst, (v*3+1)%tc.n, (v*7+2)%tc.n)
+		}
+		g.InsertBatch(src, dst)
+		want := g.Snapshot()
+		parts := make([]*Snapshot, tc.S)
+		bases := make([]uint32, tc.S)
+		for i := 0; i < tc.S; i++ {
+			parts[i] = g.Shard(i).SnapshotInto(nil)
+			bases[i] = g.Shard(i).Base()
+		}
+		got := ComposeSnapshots(parts, bases, g.NumVertices())
+		if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+			t.Fatalf("n=%d S=%d: composed %d/%d want %d/%d", tc.n, tc.S,
+				got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+		}
+		for v := uint32(0); v < tc.n; v++ {
+			gn, wn := got.Neighbors(v), want.Neighbors(v)
+			if len(gn) != len(wn) {
+				t.Fatalf("n=%d S=%d v=%d: %d neighbors want %d", tc.n, tc.S, v, len(gn), len(wn))
+			}
+			for i := range wn {
+				if gn[i] != wn[i] {
+					t.Fatalf("n=%d S=%d v=%d: neighbor %d got %d want %d", tc.n, tc.S, v, i, gn[i], wn[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScatterBatchRetainedPartAppend verifies the retention contract:
+// appending to one returned part (what serve's backpressure merge does to
+// queued parts) must never alter a sibling part, on both the sequential
+// and the parallel scatter paths.
+func TestScatterBatchRetainedPartAppend(t *testing.T) {
+	for _, n := range []int{64, 3 * parPrepMin} {
+		g := New(1<<12, Config{Shards: 4, Workers: 8})
+		rng := rand.New(rand.NewSource(int64(n)))
+		src := make([]uint32, n)
+		dst := make([]uint32, n)
+		for i := range src {
+			src[i] = uint32(rng.Intn(1 << 12))
+			dst[i] = uint32(rng.Intn(1 << 12))
+		}
+		parts, _ := g.ScatterBatch(src, dst)
+		wantSrc := make([][]uint32, len(parts))
+		wantDst := make([][]uint32, len(parts))
+		for i, p := range parts {
+			wantSrc[i] = append([]uint32(nil), p.Src...)
+			wantDst[i] = append([]uint32(nil), p.Dst...)
+		}
+		for i := range parts {
+			parts[i].Src = append(parts[i].Src, 0xdeadbeef, 0xdeadbeef)
+			parts[i].Dst = append(parts[i].Dst, 0xdeadbeef, 0xdeadbeef)
+		}
+		for i := range parts {
+			for j := range wantSrc[i] {
+				if parts[i].Src[j] != wantSrc[i][j] || parts[i].Dst[j] != wantDst[i][j] {
+					t.Fatalf("n=%d: append to a sibling corrupted part %d at %d", n, i, j)
+				}
+			}
+		}
+	}
+}
+
 // TestShardedGrowth exercises EnsureVertices and per-shard growth: edges
 // stream over an ever-growing ID range at S=4 and the engine keeps
 // matching the oracle.

@@ -114,9 +114,11 @@ func ComposeSnapshots(parts []*Snapshot, bases []uint32, n uint32) *Snapshot {
 			m += uint64(part.Degree(v))
 			s.offs[gv+1] = m
 		}
-		// Fill the gap up to the next shard's base (or n).
+		// Fill the gap up to the next shard's base, clamped to n: with an
+		// uneven n/Shards split the last shards' bases can lie beyond the
+		// logical bound (e.g. n=5, span=2 gives bases 0,2,4,6).
 		hi := n
-		if i+1 < len(parts) {
+		if i+1 < len(parts) && bases[i+1] < n {
 			hi = bases[i+1]
 		}
 		for gv := bases[i] + part.NumVertices(); gv < hi; gv++ {

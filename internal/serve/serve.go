@@ -169,6 +169,11 @@ type Store struct {
 	closed atomic.Bool
 	done   chan struct{} // closed when every shard writer has exited
 
+	// queued counts entries across all shard queues (including flush
+	// sentinels); it backs the aggregate queue-depth gauge, which would
+	// otherwise flap between single shards' depths.
+	queued atomic.Int64
+
 	stats struct {
 		batchesApplied     atomic.Uint64
 		edgesEnqueued      atomic.Uint64
@@ -330,11 +335,12 @@ func (w *shardWriter) enqueue(op int, src, dst []uint32, bound uint32) {
 		}
 	} else {
 		w.queue = append(w.queue, pending{op: op, src: src, dst: dst, bound: bound})
+		w.s.queued.Add(1)
 	}
 	depth := len(w.queue)
 	w.mu.Unlock()
 	if obs.Enabled() {
-		obsQueueDepth.Set(int64(depth))
+		obsQueueDepth.Set(w.s.queued.Load())
 		obsShardQueueDepth.Set(w.idx, int64(depth))
 	}
 	w.signal()
@@ -368,6 +374,7 @@ func (s *Store) Flush() {
 		}
 		ch := make(chan struct{})
 		w.queue = append(w.queue, pending{op: opFlush, done: ch})
+		s.queued.Add(1)
 		w.mu.Unlock()
 		w.signal()
 		chs = append(chs, ch)
@@ -412,6 +419,13 @@ func (w *shardWriter) run() {
 		w.queue = nil
 		closed := w.closed
 		w.mu.Unlock()
+		if len(q) > 0 {
+			depth := w.s.queued.Add(-int64(len(q)))
+			if obs.Enabled() {
+				obsQueueDepth.Set(depth)
+				obsShardQueueDepth.Set(w.idx, 0)
+			}
+		}
 		if len(q) == 0 {
 			if closed {
 				w.reclaim()
