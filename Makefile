@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify bench clean
+.PHONY: all build test race verify bench soak fuzz clean
 
 all: build
 
@@ -8,7 +8,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-detector pass over the packages with real cross-goroutine traffic;
 # the package list lives in scripts/race.sh (shared with scripts/verify.sh).
@@ -17,6 +17,19 @@ race:
 
 verify:
 	sh scripts/verify.sh
+
+# Long-running randomized differential sweep (internal/check simulator)
+# against the refgraph oracle. Bound it with SOAK_TIME, e.g.
+# `make soak SOAK_TIME=10m`.
+SOAK_TIME ?= 2m
+soak:
+	LSGRAPH_SOAK=1 LSGRAPH_SOAK_TIME=$(SOAK_TIME) \
+		$(GO) test -run '^TestSoak$$' -timeout 0 -v ./internal/check
+
+# Short coverage-guided fuzzing pass over every fuzz target; override the
+# per-target budget with FUZZTIME, e.g. `make fuzz FUZZTIME=1m`.
+fuzz:
+	sh scripts/fuzz.sh
 
 # Overhead check for the observability hooks (compare disabled vs enabled).
 bench-obs:

@@ -1,0 +1,51 @@
+package check
+
+import "testing"
+
+// fuzzSeeds are shared starting corpus entries for both engine-level fuzz
+// targets: an empty program, a tiny insert+verify, a grow-heavy program,
+// and one full pseudo-random workload per target so coverage starts deep.
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	// insert (1,2),(2,1); verify; kernel 0 on src 0.
+	f.Add([]byte{0, 1, 1, 2, 2, 1, 5, 6, 0})
+	// grow twice, insert a self-ish cluster, delete half of it, verify, view.
+	f.Add([]byte{7, 200, 7, 9, 0, 3, 10, 11, 11, 10, 10, 12, 12, 10, 3, 1, 10, 11, 11, 10, 5, 8})
+	f.Add(genProgram(1))
+	f.Add(genProgram(17))
+}
+
+// FuzzEngineOps drives a bare core.Graph differentially against the
+// oracle. The first byte picks the shard count (1, 2, 4, or 8); the rest
+// is a simulator program — the same decoder the seeded sweep uses, so any
+// crasher the fuzzer finds is replayable through TestSimReplay.
+func FuzzEngineOps(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		S := 1
+		if len(data) > 0 {
+			S = []int{1, 2, 4, 8}[int(data[0])%4]
+			data = data[1:]
+		}
+		if err := RunBytes(data, SimConfig{Shards: S, Mode: ModeCore}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzStoreOps drives the full serving layer (enqueue, backpressure
+// coalescing, flush, epoch-pinned views, flatten) differentially against
+// the oracle, with the same program encoding as FuzzEngineOps.
+func FuzzStoreOps(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		S := 1
+		if len(data) > 0 {
+			S = []int{1, 2, 4, 8}[int(data[0])%4]
+			data = data[1:]
+		}
+		if err := RunBytes(data, SimConfig{Shards: S, Mode: ModeStore}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

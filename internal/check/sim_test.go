@@ -1,0 +1,214 @@
+package check
+
+import (
+	"encoding/base64"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lsgraph/internal/core"
+)
+
+var simShardCounts = []int{1, 2, 4, 8}
+
+// TestSimSeeds is the main differential sweep: 25 seeded workloads per
+// (mode, shard count) combination — 2 modes x 4 shard counts x 25 seeds =
+// 200 workloads per run, each driving a fresh engine in lockstep against
+// the oracle with full verification at every verify op and at the end.
+// Combinations run in parallel to bound wall time.
+func TestSimSeeds(t *testing.T) {
+	const seedsPer = 25
+	for _, mode := range []Mode{ModeCore, ModeStore} {
+		for _, S := range simShardCounts {
+			mode, S := mode, S
+			t.Run(fmt.Sprintf("%s/shards=%d", mode, S), func(t *testing.T) {
+				t.Parallel()
+				for seed := int64(0); seed < seedsPer; seed++ {
+					seed := seed
+					t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+						if err := RunSeed(seed, SimConfig{Shards: S, Mode: mode}); err != nil {
+							t.Fatal(err)
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// TestSimReplay replays a minimized program from the environment. It is
+// the target of the replay command the harness prints on failure:
+//
+//	LSGRAPH_CHECK_REPLAY=<base64> LSGRAPH_CHECK_SHARDS=<S> \
+//	  LSGRAPH_CHECK_MODE=<core|store> go test -run 'TestSimReplay' ./internal/check
+func TestSimReplay(t *testing.T) {
+	enc := os.Getenv("LSGRAPH_CHECK_REPLAY")
+	if enc == "" {
+		t.Skip("set LSGRAPH_CHECK_REPLAY (see a simulator failure message) to replay a program")
+	}
+	data, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		t.Fatalf("bad LSGRAPH_CHECK_REPLAY: %v", err)
+	}
+	cfg := SimConfig{Shards: 1}
+	if s := os.Getenv("LSGRAPH_CHECK_SHARDS"); s != "" {
+		if cfg.Shards, err = strconv.Atoi(s); err != nil {
+			t.Fatalf("bad LSGRAPH_CHECK_SHARDS: %v", err)
+		}
+	}
+	if os.Getenv("LSGRAPH_CHECK_MODE") == "store" {
+		cfg.Mode = ModeStore
+	}
+	if err := RunBytes(data, cfg); err != nil {
+		t.Fatalf("replay failed (this is the bug you are chasing):\n%v", err)
+	}
+	t.Log("replayed program passed (bug no longer reproduces)")
+}
+
+var replayRE = regexp.MustCompile(`LSGRAPH_CHECK_REPLAY=([A-Za-z0-9+/=]+) LSGRAPH_CHECK_SHARDS=(\d+) LSGRAPH_CHECK_MODE=(\w+)`)
+
+// TestHarnessCatchesInjectedBug is the harness's self-test: with a
+// deliberate fault injected between the generator and the engine (inserted
+// edges with dst%7==3 silently dropped), the simulator must detect the
+// divergence, shrink the program, and emit a failure message carrying a
+// replayable minimal program. The test decodes that program and confirms
+// it still reproduces under the fault.
+func TestHarnessCatchesInjectedBug(t *testing.T) {
+	for _, mode := range []Mode{ModeCore, ModeStore} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := SimConfig{Shards: 4, Mode: mode, Fault: Fault{Mod: 7, Eq: 3}}
+			var err error
+			for seed := int64(0); seed < 20; seed++ {
+				if err = RunSeed(seed, cfg); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				t.Fatal("harness missed an injected bug across 20 seeds: the differential comparison is not comparing")
+			}
+			msg := err.Error()
+			for _, want := range []string{"minimized to", "go test -run 'TestSimReplay'", "go test -run 'TestSimSeeds/"} {
+				if !strings.Contains(msg, want) {
+					t.Errorf("failure message missing %q:\n%s", want, msg)
+				}
+			}
+			m := replayRE.FindStringSubmatch(msg)
+			if m == nil {
+				t.Fatalf("failure message has no parseable replay command:\n%s", msg)
+			}
+			prog, derr := base64.StdEncoding.DecodeString(m[1])
+			if derr != nil {
+				t.Fatalf("replay payload is not base64: %v", derr)
+			}
+			// The minimized program must still fail under the fault...
+			if rerr := RunBytes(prog, cfg); rerr == nil {
+				t.Error("minimized program does not reproduce the injected bug")
+			}
+			// ...and pass on the healthy engine (the bug is the fault, not
+			// the program).
+			if herr := RunBytes(prog, SimConfig{Shards: 4, Mode: mode}); herr != nil {
+				t.Errorf("minimized program fails even without the fault: %v", herr)
+			}
+			t.Logf("caught and shrunk: %v", err)
+		})
+	}
+}
+
+// TestShrinkerOutputIsMinimalish checks the shrinker actually shrinks: a
+// long random program failing only because of the injected fault must
+// minimize to far fewer ops than it started with, and the canonical
+// encoder must round-trip the survivor exactly.
+func TestShrinkerOutputIsMinimalish(t *testing.T) {
+	cfg := SimConfig{Shards: 2, Mode: ModeCore, Fault: Fault{Mod: 2, Eq: 1}}
+	var ops []op
+	for seed := int64(0); seed < 20; seed++ {
+		cand := decodeProgram(genProgram(seed))
+		if runOps(cand, cfg) != nil {
+			ops = cand
+			break
+		}
+	}
+	if ops == nil {
+		t.Fatal("no failing program found under a fault dropping half of all inserts")
+	}
+	min := shrinkOps(ops, cfg)
+	if runOps(min, cfg) == nil {
+		t.Fatal("shrinker returned a passing program")
+	}
+	if len(min) > 4 {
+		t.Errorf("shrinker left %d ops (from %d); want <= 4 for a drop-odd-destinations fault", len(min), len(ops))
+	}
+	back := decodeProgram(encodeOps(min))
+	if len(back) != len(min) {
+		t.Fatalf("encode/decode round trip: %d ops became %d", len(min), len(back))
+	}
+	for i := range back {
+		if back[i].kind != min[i].kind || len(back[i].src) != len(min[i].src) {
+			t.Fatalf("encode/decode round trip mutated op %d: %s/%d became %s/%d",
+				i, min[i].kind, len(min[i].src), back[i].kind, len(back[i].src))
+		}
+		for j := range back[i].src {
+			if back[i].src[j] != min[i].src[j] || back[i].dst[j] != min[i].dst[j] {
+				t.Fatalf("encode/decode round trip mutated op %d edge %d", i, j)
+			}
+		}
+	}
+}
+
+// TestDebugValidateHook exercises the core debug hook end to end: install
+// the deep validator via core.SetDebugValidate, run batches, and confirm
+// the hook fired on every batch with a clean bill of health.
+func TestDebugValidateHook(t *testing.T) {
+	calls := 0
+	prev := core.SetDebugValidate(func(g *core.Graph) {
+		calls++
+		if err := g.CheckInvariants(); err != nil {
+			t.Errorf("post-batch invariant violation: %v", err)
+		}
+	})
+	defer core.SetDebugValidate(prev)
+
+	g := core.New(16, core.Config{Shards: 2})
+	g.InsertBatch([]uint32{1, 1, 2, 9, 9}, []uint32{2, 3, 3, 1, 4})
+	g.DeleteBatch([]uint32{1, 9}, []uint32{3, 4})
+	g.InsertBatch([]uint32{5}, []uint32{6})
+	if calls != 3 {
+		t.Fatalf("debug hook ran %d times for 3 batches", calls)
+	}
+}
+
+// TestSoak is the long-running randomized sweep behind `make soak`. It is
+// skipped unless LSGRAPH_SOAK is set; LSGRAPH_SOAK_TIME (a Go duration,
+// default 2m) bounds it. Seeds start above the TestSimSeeds range so soak
+// explores fresh workloads.
+func TestSoak(t *testing.T) {
+	if os.Getenv("LSGRAPH_SOAK") == "" {
+		t.Skip("set LSGRAPH_SOAK=1 (or run `make soak`) for the long randomized sweep")
+	}
+	budget := 2 * time.Minute
+	if s := os.Getenv("LSGRAPH_SOAK_TIME"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad LSGRAPH_SOAK_TIME: %v", err)
+		}
+		budget = d
+	}
+	deadline := time.Now().Add(budget)
+	seed, runs := int64(1_000_000), 0
+	for time.Now().Before(deadline) {
+		for _, mode := range []Mode{ModeCore, ModeStore} {
+			for _, S := range simShardCounts {
+				if err := RunSeed(seed, SimConfig{Shards: S, Mode: mode}); err != nil {
+					t.Fatal(err)
+				}
+				runs++
+			}
+		}
+		seed++
+	}
+	t.Logf("soak: %d workloads clean in %v", runs, budget)
+}

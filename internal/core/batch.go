@@ -340,6 +340,7 @@ func (g *Graph) InsertBatch(src, dst []uint32) {
 		return
 	}
 	defer trace.StartRegion(context.Background(), "lsgraph.InsertBatch").End()
+	defer g.runDebugValidate()
 	if len(g.shards) == 1 {
 		g.insertBatchShard(&g.shards[0], src, dst, g.workers())
 		return
@@ -357,6 +358,7 @@ func (g *Graph) DeleteBatch(src, dst []uint32) {
 		return
 	}
 	defer trace.StartRegion(context.Background(), "lsgraph.DeleteBatch").End()
+	defer g.runDebugValidate()
 	if len(g.shards) == 1 {
 		g.deleteBatchShard(&g.shards[0], src, dst, g.workers())
 		return

@@ -15,4 +15,5 @@ go test -race "$@" \
 	lsgraph/internal/core \
 	lsgraph/internal/parallel \
 	lsgraph/internal/obs \
+	lsgraph/internal/check \
 	lsgraph

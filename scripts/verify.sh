@@ -21,8 +21,11 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test"
-go test ./...
+echo "== go test (-shuffle=on)"
+go test -shuffle=on ./...
+
+echo "== differential simulator smoke (200 seeded workloads, S in {1,2,4,8})"
+go test -count=1 -run '^TestSimSeeds$' -timeout 10m ./internal/check
 
 echo "== go test -race (scripts/race.sh)"
 sh scripts/race.sh
