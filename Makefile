@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify bench soak fuzz clean
+.PHONY: all build test race verify bench soak fuzz trace-demo clean
 
 all: build
 
@@ -31,9 +31,20 @@ soak:
 fuzz:
 	sh scripts/fuzz.sh
 
-# Overhead check for the observability hooks (compare disabled vs enabled).
+# Overhead check for the observability hooks (compare disabled vs enabled,
+# and the flight recorder tracing-off vs tracing-on).
 bench-obs:
 	$(GO) test -run xxx -bench ObsOverhead -count 3 ./internal/core
+
+# Flight-recorder demo: run the traced lsbench workload (4 shards, forced
+# coalescing, kernel + view-pin spans), assert every lifecycle phase was
+# recorded, and write trace.json — load it in ui.perfetto.dev or
+# chrome://tracing. CI uploads trace.json as an artifact.
+trace-demo:
+	$(GO) run ./cmd/lsbench -exp trace -quick -trace trace.json | tee trace-demo.log
+	@grep -q "phase coverage: OK" trace-demo.log || { echo "trace-demo: lifecycle phase coverage incomplete" >&2; rm -f trace-demo.log; exit 1; }
+	@rm -f trace-demo.log
+	@echo "trace-demo: trace.json written; load it in ui.perfetto.dev"
 
 # Update/analytics benchmark sweep; writes ns/op per benchmark to
 # BENCH_<tag>.json (the perf trajectory record). The tag defaults to the

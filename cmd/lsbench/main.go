@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"lsgraph"
 	"lsgraph/internal/bench"
 	"lsgraph/internal/obs"
 )
@@ -35,8 +36,11 @@ func main() {
 		batches = flag.String("batches", "", "comma-separated batch sizes (default per scale)")
 		quick   = flag.Bool("quick", false, "use the quick scale preset")
 		list    = flag.Bool("list", false, "list experiment names and exit")
-		metrics = flag.String("metrics", "", "serve Prometheus /metrics, /metrics.json and /debug/pprof on this address while experiments run; implies metric collection")
+		metrics = flag.String("metrics", "", "serve Prometheus /metrics, /metrics.json, /debug/pprof and /debug/trace on this address while experiments run; implies metric collection")
 		obsDump = flag.Bool("obsdump", false, "enable metric collection and print a JSON metrics snapshot on exit")
+		traceO  = flag.String("trace", "", "record the batch-lifecycle flight recorder across all experiments and write Chrome trace-event JSON (load in ui.perfetto.dev) to this file on exit")
+		traceMd = flag.String("tracemode", "all", "flight-recorder sampling policy: all | sample=N | tail")
+		autopsy = flag.Bool("autopsy", false, "record the flight recorder and print the slow-batch autopsy report on exit")
 	)
 	flag.Parse()
 
@@ -49,6 +53,17 @@ func main() {
 	}
 	if *obsDump {
 		obs.SetEnabled(true)
+	}
+	if *traceO != "" || *autopsy {
+		m, n, err := lsgraph.ParseTraceMode(*traceMd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsbench:", err)
+			os.Exit(2)
+		}
+		if m == lsgraph.TraceOff {
+			m, n = lsgraph.TraceAll, 1
+		}
+		lsgraph.SetTraceMode(m, n)
 	}
 
 	if *list {
@@ -99,5 +114,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("metrics snapshot:\n%s\n", b)
+	}
+
+	if *traceO != "" {
+		f, err := os.Create(*traceO)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsbench:", err)
+			os.Exit(1)
+		}
+		werr := lsgraph.WriteTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "lsbench:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("flight-recorder trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceO)
+	}
+	if *autopsy {
+		if err := lsgraph.WriteTraceAutopsy(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lsbench:", err)
+		}
 	}
 }

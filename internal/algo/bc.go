@@ -5,7 +5,6 @@ import (
 	"sync/atomic"
 
 	"lsgraph/internal/engine"
-	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -15,7 +14,7 @@ import (
 // paths, then a backward dependency-accumulation sweep over the BFS levels.
 // It returns the dependency score of every vertex.
 func BC(g engine.Graph, src uint32, p int) []float64 {
-	t := obs.StartTimer()
+	t := obsBC.begin()
 	var traversed uint64
 	n := int(g.NumVertices())
 	depth := make([]int32, n)
@@ -32,7 +31,7 @@ func BC(g engine.Graph, src uint32, p int) []float64 {
 	level := int32(0)
 	for len(frontier) > 0 {
 		levels = append(levels, frontier)
-		if !t.IsZero() {
+		if t.active() {
 			traversed += frontierDegreeSum(g, frontier)
 		}
 		for i := range next {

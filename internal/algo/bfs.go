@@ -15,7 +15,6 @@ import (
 	"sync/atomic"
 
 	"lsgraph/internal/engine"
-	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -26,7 +25,7 @@ const NoParent = int32(-1)
 // search from src using p workers (p <= 0 means GOMAXPROCS) and returns the
 // parent array, NoParent for unreached vertices (src is its own parent).
 func BFS(g engine.Graph, src uint32, p int) []int32 {
-	t := obs.StartTimer()
+	t := obsBFS.begin()
 	var traversed uint64
 	n := int(g.NumVertices())
 	parent := make([]int32, n)
@@ -120,7 +119,7 @@ type untilGraph interface {
 // BFSLevels returns the depth of each vertex from src (-1 if unreached),
 // derived from a BFS parent array walk; used by tests and BC.
 func BFSLevels(g engine.Graph, src uint32, p int) []int32 {
-	t := obs.StartTimer()
+	t := obsBFSLvl.begin()
 	var traversed uint64
 	n := int(g.NumVertices())
 	depth := make([]int32, n)
@@ -132,7 +131,7 @@ func BFSLevels(g engine.Graph, src uint32, p int) []int32 {
 	level := int32(0)
 	next := make([]bool, n)
 	for len(frontier) > 0 {
-		if !t.IsZero() {
+		if t.active() {
 			traversed += frontierDegreeSum(g, frontier)
 		}
 		for i := range next {

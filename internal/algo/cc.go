@@ -6,7 +6,6 @@ import (
 	"unsafe"
 
 	"lsgraph/internal/engine"
-	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -43,7 +42,7 @@ func atomicMinUint32(addr *uint32, v uint32) bool {
 // component label of each vertex (the minimum vertex ID in the component,
 // for symmetrized inputs).
 func CC(g engine.Graph, p int) []uint32 {
-	t := obs.StartTimer()
+	t := obsCC.begin()
 	var traversed uint64
 	n := int(g.NumVertices())
 	comp := make([]uint32, n)
@@ -54,7 +53,7 @@ func CC(g engine.Graph, p int) []uint32 {
 	}
 	changed := make([]bool, n)
 	for len(frontier) > 0 {
-		if !t.IsZero() {
+		if t.active() {
 			traversed += frontierDegreeSum(g, frontier)
 		}
 		for i := range changed {

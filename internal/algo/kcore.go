@@ -2,7 +2,6 @@ package algo
 
 import (
 	"lsgraph/internal/engine"
-	"lsgraph/internal/obs"
 )
 
 // KCore computes the core number of every vertex of a symmetrized graph:
@@ -13,7 +12,7 @@ import (
 // neighbor-list traversal, so it benefits from the same locality the
 // paper's §6.3 measures.
 func KCore(g engine.Graph, p int) []uint32 {
-	t := obs.StartTimer()
+	t := obsKCore.begin()
 	n := int(g.NumVertices())
 	deg := make([]uint32, n)
 	maxDeg := uint32(0)

@@ -4,14 +4,17 @@ import (
 	"time"
 
 	"lsgraph/internal/obs"
+	"lsgraph/internal/trace"
 )
 
-// kernelObs bundles one kernel's wall-time histogram and traversed-edge
-// counter. Kernels call obs.StartTimer at entry and done at exit; both are
-// near-free when collection is disabled (zero start time short-circuits).
+// kernelObs bundles one kernel's wall-time histogram, traversed-edge
+// counter, and interned flight-recorder label. Kernels call begin at entry
+// and done at exit; both are near-free when collection and tracing are
+// disabled (a zero timer short-circuits done).
 type kernelObs struct {
 	nanos *obs.Histogram
 	edges *obs.Counter
+	name  uint32 // interned kernel name for trace.SpanNamed
 }
 
 func newKernelObs(kernel string) kernelObs {
@@ -20,6 +23,7 @@ func newKernelObs(kernel string) kernelObs {
 		nanos: obs.NewHistogram("lsgraph_algo_nanos", l, "ns", "wall time per kernel run"),
 		edges: obs.NewCounter("lsgraph_algo_traversed_edges_total", l,
 			"edges traversed per kernel (frontier-degree or iteration estimates)"),
+		name: trace.InternName(kernel),
 	}
 }
 
@@ -33,14 +37,31 @@ var (
 	obsKCore  = newKernelObs("kcore")
 )
 
-// done records one finished kernel run started at start (ignored when start
-// is zero, i.e. collection was disabled at kernel entry).
-func (k kernelObs) done(start time.Time, edges uint64) {
-	if start.IsZero() {
-		return
+// kernelTimer is a begin result: the obs wall-clock start and the trace
+// timestamp, each zero when its collector was off at kernel entry.
+type kernelTimer struct {
+	obsT time.Time
+	trT  int64
+}
+
+// active reports whether either collector wants per-round edge estimates;
+// kernels gate frontierDegreeSum on it so the all-off path pays nothing.
+func (t kernelTimer) active() bool { return !t.obsT.IsZero() || t.trT != 0 }
+
+// begin opens a kernel run measurement; pair with done.
+func (k kernelObs) begin() kernelTimer {
+	return kernelTimer{obsT: obs.StartTimer(), trT: trace.Start()}
+}
+
+// done records one finished kernel run: the obs histogram/counter when
+// collection was on at entry, and a named kernel span in the flight
+// recorder when tracing was (SpanNamed ignores the zero timestamp).
+func (k kernelObs) done(t kernelTimer, edges uint64) {
+	if !t.obsT.IsZero() {
+		k.nanos.ObserveSince(t.obsT)
+		k.edges.Add(edges)
 	}
-	k.nanos.ObserveSince(start)
-	k.edges.Add(edges)
+	trace.SpanNamed(trace.PhaseKernel, -1, 0, 0, edges, k.name, t.trT)
 }
 
 // frontierDegreeSum totals the degrees of a frontier, the per-round

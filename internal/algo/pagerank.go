@@ -2,7 +2,6 @@ package algo
 
 import (
 	"lsgraph/internal/engine"
-	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -18,7 +17,7 @@ func PageRank(g engine.Graph, iters, p int) []float64 {
 	if iters <= 0 {
 		iters = 10
 	}
-	t := obs.StartTimer()
+	t := obsPR.begin()
 	n := int(g.NumVertices())
 	if n == 0 {
 		return nil

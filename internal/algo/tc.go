@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"lsgraph/internal/engine"
-	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
 )
 
@@ -22,7 +21,7 @@ type TCResult struct {
 // structure once to store neighbors in flat arrays (CSR), then count by
 // sorted-array intersections, each triangle (v < u < w) exactly once.
 func TriangleCount(g engine.Graph, p int) TCResult {
-	t := obs.StartTimer()
+	t := obsTC.begin()
 	start := time.Now()
 	offs, adj := Materialize(g, p)
 	traversal := time.Since(start)

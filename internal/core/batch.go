@@ -3,11 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime/trace"
+	rtrace "runtime/trace"
 	"sync/atomic"
 
 	"lsgraph/internal/obs"
 	"lsgraph/internal/parallel"
+	"lsgraph/internal/trace"
 )
 
 // group is the contiguous run of one source vertex's updates inside the
@@ -105,17 +106,28 @@ func (g *Graph) prepareBatch(sh *shardState, src, dst []uint32, p int) ([]uint64
 	if obs.Enabled() {
 		obsPrepWorkers.Set(int64(p))
 	}
+	shard, batch, edges := int(sh.idx), sh.traceBatch, uint64(len(src))
+	trPrep := trace.Start()
+
 	tPack := obs.StartTimer()
+	trPack := trace.Start()
 	ks := g.packKeys(sh, src, dst, p)
 	obsPhasePack.ObserveSince(tPack)
+	trace.Span(trace.PhasePack, shard, batch, 0, edges, trPack)
 
 	tSort := obs.StartTimer()
+	trSort := trace.Start()
 	parallel.SortUint64(ks, p)
 	obsPhaseSort.ObserveSince(tSort)
+	trace.Span(trace.PhaseSort, shard, batch, 0, edges, trSort)
 
 	tGroup := obs.StartTimer()
+	trGroup := trace.Start()
 	keys, groups := dedupGroup(sh, ks, p)
 	obsPhaseGroup.ObserveSince(tGroup)
+	trace.Span(trace.PhaseGroup, shard, batch, 0, edges, trGroup)
+
+	trace.Span(trace.PhasePrepare, shard, batch, 0, edges, trPrep)
 	return keys, groups
 }
 
@@ -339,8 +351,9 @@ func (g *Graph) InsertBatch(src, dst []uint32) {
 	if len(src) == 0 {
 		return
 	}
-	defer trace.StartRegion(context.Background(), "lsgraph.InsertBatch").End()
+	defer rtrace.StartRegion(context.Background(), "lsgraph.InsertBatch").End()
 	defer g.runDebugValidate()
+	g.beginBatchTrace()
 	if len(g.shards) == 1 {
 		g.insertBatchShard(&g.shards[0], src, dst, g.workers())
 		return
@@ -357,8 +370,9 @@ func (g *Graph) DeleteBatch(src, dst []uint32) {
 	if len(src) == 0 {
 		return
 	}
-	defer trace.StartRegion(context.Background(), "lsgraph.DeleteBatch").End()
+	defer rtrace.StartRegion(context.Background(), "lsgraph.DeleteBatch").End()
 	defer g.runDebugValidate()
+	g.beginBatchTrace()
 	if len(g.shards) == 1 {
 		g.deleteBatchShard(&g.shards[0], src, dst, g.workers())
 		return
@@ -366,6 +380,20 @@ func (g *Graph) DeleteBatch(src, dst []uint32) {
 	g.eachShardPart(src, dst, func(sh *shardState, part SubBatch, p int) {
 		g.deleteBatchShard(sh, part.Src, part.Dst, p)
 	})
+}
+
+// beginBatchTrace stamps every shard with a fresh flight-recorder batch ID
+// so phase spans from one direct-engine InsertBatch/DeleteBatch share an
+// attribution. Direct batch calls own the whole graph, so plain stores are
+// safe; the serving layer instead attributes per shard via Shard.BeginTrace.
+func (g *Graph) beginBatchTrace() {
+	if !trace.Enabled() {
+		return
+	}
+	b := trace.NextBatchID()
+	for i := range g.shards {
+		g.shards[i].traceBatch = b
+	}
 }
 
 // eachShardPart scatters a batch by source vertex and runs apply on every
@@ -403,6 +431,7 @@ func (g *Graph) insertBatchShard(sh *shardState, src, dst []uint32, p int) {
 	ks, groups := g.prepareBatch(sh, src, dst, p)
 	on := obs.Enabled()
 	tApply := obs.StartTimer()
+	trApply := trace.Start()
 	var added atomic.Uint64
 	base := sh.base
 	forEachGroupBySize(sh, groups, p, func(w, gi int) {
@@ -430,6 +459,7 @@ func (g *Graph) insertBatchShard(sh *shardState, src, dst []uint32, p int) {
 	})
 	sh.m.Add(added.Load())
 	obsPhaseApply.ObserveSince(tApply)
+	trace.Span(trace.PhaseApply, int(sh.idx), sh.traceBatch, 0, uint64(len(src)), trApply)
 	if on {
 		obsBatchesIns.Inc()
 		obsUpdatesIns.Add(uint64(len(src)))
@@ -497,6 +527,7 @@ func (g *Graph) deleteBatchShard(sh *shardState, src, dst []uint32, p int) {
 	ks, groups := g.prepareBatch(sh, src, dst, p)
 	on := obs.Enabled()
 	tApply := obs.StartTimer()
+	trApply := trace.Start()
 	var removed atomic.Uint64
 	base := sh.base
 	forEachGroupBySize(sh, groups, p, func(w, gi int) {
@@ -524,6 +555,7 @@ func (g *Graph) deleteBatchShard(sh *shardState, src, dst []uint32, p int) {
 	})
 	sh.subEdges(removed.Load())
 	obsPhaseApply.ObserveSince(tApply)
+	trace.Span(trace.PhaseApply, int(sh.idx), sh.traceBatch, 0, uint64(len(src)), trApply)
 	if on {
 		obsBatchesDel.Inc()
 		obsUpdatesDel.Add(uint64(len(src)))

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"lsgraph/internal/hitree"
+	"lsgraph/internal/trace"
 )
 
 // Stats exposes engine-internal counters used by the evaluation.
@@ -70,8 +71,10 @@ func New(n uint32, cfg Config) *Graph {
 	for i := range g.shards {
 		base := uint32(i) * span
 		g.shards[i].base = base
+		g.shards[i].idx = int32(i)
 		g.shards[i].verts = make([]vertex, shardSliceLen(base, span, i == s-1, n))
 	}
+	trace.EnsureShards(s)
 	return g
 }
 

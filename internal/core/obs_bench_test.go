@@ -5,17 +5,20 @@ import (
 
 	"lsgraph/internal/gen"
 	"lsgraph/internal/obs"
+	"lsgraph/internal/trace"
 )
 
 // BenchmarkObsOverhead measures the cost the observability hooks add to the
 // hot update path. Each iteration inserts and then deletes the same batch,
 // so the graph returns to its initial state and iterations are comparable.
-// Compare the disabled and enabled sub-benchmarks:
+// Compare the disabled and enabled sub-benchmarks, and likewise
+// tracing-off vs tracing-on for the flight recorder:
 //
 //	go test -run xxx -bench ObsOverhead -count 5 ./internal/core
 //
-// The disabled case must stay within noise of a build without hooks: every
-// per-edge hook reduces to one atomic load of the global enable flag.
+// The disabled and tracing-off cases must stay within noise of a build
+// without hooks: every per-edge hook reduces to one atomic load of the
+// respective global flag.
 func BenchmarkObsOverhead(b *testing.B) {
 	const (
 		scale     = 12
@@ -54,4 +57,21 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 	b.Run("disabled", func(b *testing.B) { run(b, false) })
 	b.Run("enabled", func(b *testing.B) { run(b, true) })
+
+	// Flight-recorder variants, metric collection off in both so the delta
+	// isolates the tracing hooks (Start/Span on the prepare/apply phases).
+	runTrace := func(b *testing.B, m trace.Mode) {
+		prevMode, prevN := trace.CurrentMode(), trace.SampleN()
+		trace.SetMode(m, 1)
+		defer trace.SetMode(prevMode, prevN)
+		g, bs, bd := build()
+		b.SetBytes(int64(len(bs)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.InsertBatch(bs, bd)
+			g.DeleteBatch(bs, bd)
+		}
+	}
+	b.Run("tracing-off", func(b *testing.B) { runTrace(b, trace.Off) })
+	b.Run("tracing-on", func(b *testing.B) { runTrace(b, trace.All) })
 }

@@ -15,10 +15,18 @@ import (
 // vertex lives in exactly one of them.
 type shardState struct {
 	base  uint32
+	idx   int32 // position in Graph.shards, for flight-recorder attribution
 	verts []vertex
 	m     atomic.Uint64
 	prep  prepScratch
 	apply []applyScratch
+
+	// traceBatch is the flight-recorder batch ID the shard's current update
+	// is attributed to (see internal/trace). It is owned by whichever
+	// goroutine owns the shard's update pipeline — the serve shard writer
+	// sets it via Shard.BeginTrace before applying — so a plain field
+	// suffices under the per-shard exclusivity contract.
+	traceBatch uint64
 }
 
 // ensure grows the shard's materialized storage to at least n slots.
@@ -80,6 +88,12 @@ func (g *Graph) Shard(i int) Shard { return Shard{g: g, sh: &g.shards[i]} }
 
 // Base returns the first vertex ID of the shard's range.
 func (s Shard) Base() uint32 { return s.sh.base }
+
+// BeginTrace attributes the shard's subsequent updates to the given
+// flight-recorder batch ID (internal/trace): the prepare and apply phase
+// spans the pipeline records will carry it. Callers must own the shard
+// exclusively, like every mutating method.
+func (s Shard) BeginTrace(batch uint64) { s.sh.traceBatch = batch }
 
 // NumVertices returns the shard's materialized slot count; the shard owns
 // global IDs [Base, Base+NumVertices) plus, for the last shard, any

@@ -36,6 +36,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,17 @@ type desc struct {
 }
 
 func (d *desc) meta() *desc { return d }
+
+// exportName is the metric name used in the Prometheus exposition: the
+// format convention requires counters to carry a _total suffix, so one is
+// appended for counters registered without it. JSON snapshots keep the
+// registered name.
+func (d *desc) exportName() string {
+	if d.typ == "counter" && !strings.HasSuffix(d.name, "_total") {
+		return d.name + "_total"
+	}
+	return d.name
+}
 
 // series renders the metric name with its label set, with extra labels
 // appended (extra may be empty).
@@ -253,18 +265,21 @@ func (c *Counter) indexLabel() string {
 }
 
 func (c *Counter) promLines(dst []string) []string {
+	// Export under the _total-suffixed name the exposition format requires.
+	d := c.desc
+	d.name = c.exportName()
 	if c.perShard {
 		for i := range c.shards {
 			if v := c.shards[i].v.Load(); v != 0 {
-				dst = append(dst, fmt.Sprintf("%s %d", c.series(fmt.Sprintf(`%s="%d"`, c.indexLabel(), i)), v))
+				dst = append(dst, fmt.Sprintf("%s %d", d.series(fmt.Sprintf(`%s="%d"`, c.indexLabel(), i)), v))
 			}
 		}
 		if len(dst) == 0 {
-			dst = append(dst, fmt.Sprintf("%s 0", c.series("")))
+			dst = append(dst, fmt.Sprintf("%s 0", d.series("")))
 		}
 		return dst
 	}
-	return append(dst, fmt.Sprintf("%s %d", c.series(""), c.Value()))
+	return append(dst, fmt.Sprintf("%s %d", d.series(""), c.Value()))
 }
 
 func (c *Counter) snapshotValue() any {
@@ -450,6 +465,56 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() uint64 { return h.sum.Load() }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the observed values by
+// linear interpolation inside the log2 bucket containing the target rank.
+// With power-of-two buckets the estimate is coarse (worst case ~2x within
+// the top bucket) but monotone in q and cheap; it returns 0 for an empty
+// histogram. The counts are loaded bucket by bucket, so a concurrent
+// Observe may or may not be included — fine for reporting.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return BucketQuantile(counts[:], total, q)
+}
+
+// BucketQuantile estimates the q-quantile of a log2-bucketed histogram
+// (bucket i counts values v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i)) holding count observations in total, interpolating
+// linearly inside the bucket containing the target rank.
+func BucketQuantile(counts []uint64, count uint64, q float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if cum+fc >= rank {
+			var lo, hi float64
+			if i > 0 {
+				lo = float64(uint64(1) << (i - 1))
+				hi = float64(uint64(1) << i)
+			}
+			return lo + (hi-lo)*(rank-cum)/fc
+		}
+		cum += fc
+	}
+	return float64(uint64(1) << (len(counts) - 1))
+}
+
 func (h *Histogram) promLines(dst []string) []string {
 	var cum uint64
 	for i := 0; i < histBuckets; i++ {
@@ -477,9 +542,13 @@ func (h *Histogram) seriesSuffix(suffix, extra string) string {
 
 func (h *Histogram) snapshotValue() any {
 	bs := map[string]uint64{}
+	var counts [histBuckets]uint64
+	var total uint64
 	for i := 0; i < histBuckets; i++ {
-		if c := h.buckets[i].Load(); c != 0 {
-			bs[fmt.Sprintf("le_2^%d", i)] = c
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+		if counts[i] != 0 {
+			bs[fmt.Sprintf("le_2^%d", i)] = counts[i]
 		}
 	}
 	return map[string]any{
@@ -487,5 +556,8 @@ func (h *Histogram) snapshotValue() any {
 		"sum":     h.sum.Load(),
 		"unit":    h.unit,
 		"buckets": bs,
+		"p50":     BucketQuantile(counts[:], total, 0.50),
+		"p90":     BucketQuantile(counts[:], total, 0.90),
+		"p99":     BucketQuantile(counts[:], total, 0.99),
 	}
 }

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBucketQuantileInterpolation(t *testing.T) {
+	// 100 observations, all in bucket 4 (values 8..15): the estimator
+	// interpolates linearly across [8, 16).
+	counts := make([]uint64, histBuckets)
+	counts[4] = 100
+	if got := BucketQuantile(counts, 100, 0.5); got != 12 {
+		t.Fatalf("p50 of one full bucket [8,16) = %v, want 12", got)
+	}
+	if got := BucketQuantile(counts, 100, 0); got != 8 {
+		t.Fatalf("p0 = %v, want bucket lower bound 8", got)
+	}
+	// Split across buckets: 50 in bucket 1 (value 1), 50 in bucket 10
+	// (512..1023): the p50 rank lands exactly at the end of bucket 1 — the
+	// interpolation returns its upper edge — and p99 sits inside bucket 10.
+	counts = make([]uint64, histBuckets)
+	counts[1], counts[10] = 50, 50
+	p50 := BucketQuantile(counts, 100, 0.5)
+	p99 := BucketQuantile(counts, 100, 0.99)
+	if p50 < 1 || p50 > 2 {
+		t.Fatalf("p50 = %v, want within bucket (1,2]", p50)
+	}
+	if p99 < 512 || p99 >= 1024 {
+		t.Fatalf("p99 = %v, want within bucket [512,1024)", p99)
+	}
+	if BucketQuantile(counts, 0, 0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogramIn(r, "test_q", "", "ns", "quantile test")
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	// Log2 buckets bound the error to the containing power-of-two range.
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("p50 = %v, want within [256,1024] for uniform 1..1000", p50)
+	}
+	if p99 < 512 || p99 > 1024 {
+		t.Fatalf("p99 = %v, want within [512,1024] for uniform 1..1000", p99)
+	}
+}
+
+func TestSnapshotIncludesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogramIn(r, "test_snap_q", "", "ns", "snapshot quantile test")
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	m, ok := snap["test_snap_q"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram snapshot is %T, want map", snap["test_snap_q"])
+	}
+	p50, ok50 := m["p50"].(float64)
+	p90, ok90 := m["p90"].(float64)
+	p99, ok99 := m["p99"].(float64)
+	if !ok50 || !ok90 || !ok99 {
+		t.Fatalf("snapshot missing quantile keys: %v", m)
+	}
+	if !(p50 <= p90 && p90 <= p99 && p50 > 0) {
+		t.Fatalf("snapshot quantiles implausible: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+}
+
+func TestCounterTotalSuffix(t *testing.T) {
+	r := NewRegistry()
+	NewCounterIn(r, "test_events", "", "a counter registered without the suffix").Add(3)
+	NewCounterIn(r, "test_done_total", "", "a counter already carrying it").Add(5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_events_total counter",
+		"test_events_total 3",
+		"# TYPE test_done_total counter",
+		"test_done_total 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "test_done_total_total") {
+		t.Errorf("suffix appended twice:\n%s", out)
+	}
+	if strings.Contains(out, "test_events 3") {
+		t.Errorf("unsuffixed series leaked:\n%s", out)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	raw := "a\"b\\c\nd"
+	if got, want := EscapeLabelValue(raw), `a\"b\\c\nd`; got != want {
+		t.Fatalf("EscapeLabelValue = %q, want %q", got, want)
+	}
+	if got, want := Label("path", raw), `path="a\"b\\c\nd"`; got != want {
+		t.Fatalf("Label = %q, want %q", got, want)
+	}
+
+	r := NewRegistry()
+	NewCounterIn(r, "test_labeled_total", Label("file", `C:\tmp\"x".txt`), "escaping test").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `test_labeled_total{file="C:\\tmp\\\"x\".txt"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing escaped series %q:\n%s", want, out)
+	}
+	// The raw quote/backslash sequence must not appear unescaped inside the
+	// quoted value (it would terminate the label early for a parser).
+	if strings.Contains(out, `file="C:\tmp`) {
+		t.Fatalf("unescaped label value leaked:\n%s", out)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	NewCounterIn(r, "test_help_total", "", "line one\nline two \\ backslash").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP test_help_total line one\nline two \\ backslash`) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+}

@@ -20,6 +20,10 @@ var (
 		"retired snapshots whose epoch drained and whose buffers were recycled")
 	obsSnapReuse = obs.NewCounter("lsgraph_store_snapshot_reuse_total", "",
 		"publishes that reused a reclaimed snapshot's buffers instead of allocating")
+	obsVisibilityLag = obs.NewHistogram("lsgraph_store_visibility_lag_nanos", "", "ns",
+		"end-to-end enqueue-to-publish latency: how long an update waited to become reader-visible")
+	obsViewPinAge = obs.NewHistogram("lsgraph_store_view_pin_age_nanos", "", "ns",
+		"composed view lifetime, acquire to release; long pins delay snapshot reclamation")
 
 	// Per-shard series (one per shard writer, labelled shard="i"). The
 	// aggregate metrics above stay maintained so Shards=1 dashboards are

@@ -66,6 +66,7 @@ import (
 	"lsgraph/internal/core"
 	"lsgraph/internal/engine"
 	"lsgraph/internal/obs"
+	"lsgraph/internal/trace"
 )
 
 // Options configures a Store.
@@ -108,6 +109,8 @@ type pending struct {
 	op       int
 	src, dst []uint32
 	bound    uint32
+	batch    uint64        // flight-recorder batch ID (0 when tracing is off)
+	enq      int64         // trace-timeline enqueue timestamp; 0 when obs and tracing are off
 	done     chan struct{} // flush sentinel only
 }
 
@@ -213,7 +216,7 @@ func New(g *core.Graph, opt Options) *Store {
 			wake:  make(chan struct{}, 1),
 			done:  make(chan struct{}),
 		}
-		w.publish()
+		w.publish(0)
 		s.ws[i] = w
 	}
 	for _, w := range s.ws {
@@ -252,6 +255,16 @@ func (s *Store) enqueue(op int, src, dst []uint32) {
 		panic("serve: update on closed Store")
 	}
 	s.stats.edgesEnqueued.Add(uint64(len(src)))
+	// enq anchors the enqueue-to-publish visibility-lag measurement; it is
+	// taken whenever either consumer (obs histogram, flight recorder) is on.
+	var enq int64
+	var batch uint64
+	if obs.Enabled() || trace.Enabled() {
+		enq = trace.Now()
+	}
+	if trace.Enabled() {
+		batch = trace.NextBatchID()
+	}
 	if len(s.ws) == 1 {
 		// Single shard: one copy pass that also finds the required bound.
 		var bound uint32
@@ -267,10 +280,15 @@ func (s *Store) enqueue(op int, src, dst []uint32) {
 			}
 		}
 		s.g.ReserveVertices(bound)
-		s.ws[0].enqueue(op, cs, cd, bound)
+		s.ws[0].enqueue(op, cs, cd, bound, batch, enq)
+		if batch != 0 {
+			trace.Span(trace.PhaseEnqueue, -1, batch, 0, uint64(len(src)), enq)
+		}
 		return
 	}
+	trScatter := trace.Start()
 	parts, bound := s.g.ScatterBatch(src, dst)
+	trace.Span(trace.PhaseScatter, -1, batch, 0, uint64(len(src)), trScatter)
 	s.g.ReserveVertices(bound)
 	if obs.Enabled() {
 		skew := shardSkewPct(parts)
@@ -283,7 +301,10 @@ func (s *Store) enqueue(op int, src, dst []uint32) {
 		if obs.Enabled() {
 			obsShardRouted.AddShard(i, uint64(len(part.Src)))
 		}
-		s.ws[i].enqueue(op, part.Src, part.Dst, bound)
+		s.ws[i].enqueue(op, part.Src, part.Dst, bound, batch, enq)
+	}
+	if batch != 0 {
+		trace.Span(trace.PhaseEnqueue, -1, batch, 0, uint64(len(src)), enq)
 	}
 }
 
@@ -314,7 +335,7 @@ func shardSkewPct(parts []core.SubBatch) int64 {
 
 // enqueue adds an owned batch to this shard's queue, merging under
 // backpressure.
-func (w *shardWriter) enqueue(op int, src, dst []uint32, bound uint32) {
+func (w *shardWriter) enqueue(op int, src, dst []uint32, bound uint32, batch uint64, enq int64) {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -322,7 +343,9 @@ func (w *shardWriter) enqueue(op int, src, dst []uint32, bound uint32) {
 	}
 	if n := len(w.queue); n >= w.s.opt.MaxQueue && w.queue[n-1].op == op {
 		// Backpressure: merge into the newest queued batch of the same op
-		// rather than growing the queue or blocking the caller.
+		// rather than growing the queue or blocking the caller. The merged
+		// entry keeps its own batch ID and enqueue timestamp: its oldest
+		// edges are the ones whose visibility lag the measurement is after.
 		last := &w.queue[n-1]
 		last.src = append(last.src, src...)
 		last.dst = append(last.dst, dst...)
@@ -333,8 +356,9 @@ func (w *shardWriter) enqueue(op int, src, dst []uint32, bound uint32) {
 		if obs.Enabled() {
 			obsCoalesced.Inc()
 		}
+		trace.Instant(trace.PhaseCoalesce, w.idx, last.batch, uint64(len(src)))
 	} else {
-		w.queue = append(w.queue, pending{op: op, src: src, dst: dst, bound: bound})
+		w.queue = append(w.queue, pending{op: op, src: src, dst: dst, bound: bound, batch: batch, enq: enq})
 		w.s.queued.Add(1)
 	}
 	depth := len(w.queue)
@@ -446,6 +470,7 @@ func (w *shardWriter) run() {
 			if b.bound > 0 {
 				w.shard.EnsureVertices(b.bound)
 			}
+			w.shard.BeginTrace(b.batch)
 			if b.op == opInsert {
 				w.shard.InsertBatch(b.src, b.dst)
 			} else {
@@ -456,7 +481,16 @@ func (w *shardWriter) run() {
 				obsApplied.Inc()
 				obsShardApplied.AddShard(w.idx, 1)
 			}
-			w.publish()
+			w.publish(b.batch)
+			if b.enq != 0 {
+				// The batch is now reader-visible: close the end-to-end
+				// enqueue-to-publish measurement and feed the tail estimator.
+				lag := trace.Now() - b.enq
+				if obs.Enabled() {
+					obsVisibilityLag.Observe(uint64(lag))
+				}
+				trace.BatchEnd(b.batch, lag)
+			}
 			q[i] = pending{} // release the scattered batch for GC
 		}
 	}
@@ -464,10 +498,12 @@ func (w *shardWriter) run() {
 
 // publish flattens the writer's shard into a local snapshot (reusing a
 // drained snapshot's buffers when available), swaps it in as the shard's
-// new epoch, and retires the previous one. Writer goroutine only (and
-// New, before the writer starts).
-func (w *shardWriter) publish() {
+// new epoch, and retires the previous one. batch is the flight-recorder
+// attribution of the update that triggered the republish (0 from New).
+// Writer goroutine only (and New, before the writer starts).
+func (w *shardWriter) publish(batch uint64) {
 	t := obs.StartTimer()
+	tr := trace.Start()
 	var reuse *core.Snapshot
 	if n := len(w.free); n > 0 {
 		reuse = w.free[n-1]
@@ -489,12 +525,15 @@ func (w *shardWriter) publish() {
 	w.s.stats.snapshotsPublished.Add(1)
 	w.reclaim()
 	obsPublish.ObserveSince(t)
+	trace.Span(trace.PhasePublish, w.idx, batch, e.epoch, e.snap.NumEdges(), tr)
 }
 
 // reclaim recycles retired snapshots whose epoch has drained (refcount
 // zero observed after retirement; see the package comment for why that
 // observation is safe). Writer goroutine only.
 func (w *shardWriter) reclaim() {
+	tr := trace.Start()
+	freed := 0
 	kept := w.retired[:0]
 	for _, e := range w.retired {
 		if e.refs.Load() == 0 {
@@ -502,6 +541,7 @@ func (w *shardWriter) reclaim() {
 				w.free = append(w.free, e.snap)
 			}
 			e.snap = nil
+			freed++
 			w.s.stats.snapshotsReclaimed.Add(1)
 			if obs.Enabled() {
 				obsReclaims.Inc()
@@ -509,6 +549,9 @@ func (w *shardWriter) reclaim() {
 		} else {
 			kept = append(kept, e)
 		}
+	}
+	if freed > 0 {
+		trace.Span(trace.PhaseReclaim, w.idx, 0, 0, uint64(freed), tr)
 	}
 	for i := len(kept); i < len(w.retired); i++ {
 		w.retired[i] = nil
@@ -554,6 +597,7 @@ type View struct {
 	epoch uint64
 	nv    uint32
 	m     uint64
+	pin   int64 // trace-timeline acquire timestamp; 0 when obs and tracing are off
 
 	flatOnce sync.Once
 	flat     *core.Snapshot
@@ -575,6 +619,9 @@ func (s *Store) View() *View {
 	// the bound reserved before any pinned snapshot's batch was published,
 	// so every neighbor ID in the view is < nv (see the package comment).
 	v.nv = s.g.NumVertices()
+	if obs.Enabled() || trace.Enabled() {
+		v.pin = trace.Now()
+	}
 	return v
 }
 
@@ -672,6 +719,14 @@ func (v *View) Release() {
 		v.s.ws[i].release(e)
 	}
 	v.es = nil
+	if v.pin != 0 {
+		// How long the view held its snapshots pinned: long pins are what
+		// delay reclamation, so the age distribution explains epoch lag.
+		if obs.Enabled() {
+			obsViewPinAge.Observe(uint64(trace.Now() - v.pin))
+		}
+		trace.Span(trace.PhaseViewPin, -1, 0, v.epoch, v.m, v.pin)
+	}
 }
 
 // Epoch returns the Store's current epoch: the total number of batches

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"net/http"
+
+	"lsgraph/internal/obs"
+)
+
+// Handler serves the flight recorder over HTTP:
+//
+//	/debug/trace          Chrome trace-event JSON (open in Perfetto)
+//	/debug/trace/autopsy  the slow-batch autopsy text report
+//
+// It is mounted on the obs metrics endpoint automatically (init below), so
+// any process serving /metrics also serves its trace.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="lsgraph-trace.json"`)
+		if err := WriteChrome(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/trace/autopsy", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := WriteAutopsy(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+func init() {
+	h := Handler()
+	obs.RegisterDebug("/debug/trace", h)
+	obs.RegisterDebug("/debug/trace/autopsy", h)
+}

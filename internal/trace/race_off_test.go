@@ -1,0 +1,7 @@
+//go:build !race
+
+package trace_test
+
+// overheadBudgetNs is the disabled-path Start budget; ~25x the expected
+// cost of one atomic load, so only a real regression trips the guard.
+const overheadBudgetNs = 50

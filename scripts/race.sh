@@ -15,5 +15,6 @@ go test -race "$@" \
 	lsgraph/internal/core \
 	lsgraph/internal/parallel \
 	lsgraph/internal/obs \
+	lsgraph/internal/trace \
 	lsgraph/internal/check \
 	lsgraph

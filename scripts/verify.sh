@@ -33,4 +33,7 @@ sh scripts/race.sh
 echo "== benchmark smoke (-benchtime 1x)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
 
+echo "== tracing disabled-path overhead guard"
+go test -count=1 -run '^TestTraceDisabledOverheadGuard$' ./internal/trace
+
 echo "verify: OK"
