@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify bench soak fuzz trace-demo clean
+.PHONY: all build test race verify bench bench-analytics soak fuzz trace-demo clean
 
 all: build
 
@@ -51,6 +51,13 @@ trace-demo:
 # short git commit hash; override with `make bench TAG=mytag`.
 bench:
 	sh scripts/bench.sh $(TAG)
+
+# Analytics-kernel smoke: neighbor iteration (callback vs blocks) plus the
+# kernel benchmarks on the seeded power-law dataset, recorded to
+# BENCH_<tag>.json like `make bench`. Acceptance gate for read-path work.
+bench-analytics:
+	BENCHPKGS=./internal/algo BENCHPAT='NeighborIteration|Kernel' \
+		sh scripts/bench.sh $(TAG)
 
 clean:
 	$(GO) clean ./...

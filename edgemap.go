@@ -63,16 +63,27 @@ func EdgeMap(g Reader, frontier *VertexSubset, cond func(u uint32) bool, update 
 	out := make([]uint32, n)
 	added := make([]int32, n)
 	fs := frontier.Vertices()
+	bg, _ := g.(BlockReader) // detect the block read path once per run
 	parallel.For(len(fs), 0, func(i int) {
 		v := fs[i]
-		g.ForEachNeighbor(v, func(u uint32) {
+		visit := func(u uint32) {
 			if cond != nil && !cond(u) {
 				return
 			}
 			if update(v, u) && atomic.CompareAndSwapInt32(&added[u], 0, 1) {
 				out[u] = u
 			}
-		})
+		}
+		if bg != nil {
+			bg.NeighborBlocks(v, func(bs []uint32) bool {
+				for _, u := range bs {
+					visit(u)
+				}
+				return true
+			})
+			return
+		}
+		g.ForEachNeighbor(v, visit)
 	})
 	next := &VertexSubset{n: n}
 	for u := range added {

@@ -28,6 +28,8 @@ func BC(g engine.Graph, src uint32, p int) []float64 {
 	var levels [][]uint32
 	frontier := []uint32{src}
 	next := make([]bool, n)
+	bufs := frontierBufs(p)
+	bg := blocker(g)
 	level := int32(0)
 	for len(frontier) > 0 {
 		levels = append(levels, frontier)
@@ -38,25 +40,44 @@ func BC(g engine.Graph, src uint32, p int) []float64 {
 			next[i] = false
 		}
 		level++
-		parallel.For(len(frontier), p, func(i int) {
-			v := frontier[i]
-			sv := sigma[v]
-			g.ForEachNeighbor(v, func(u uint32) {
-				if atomic.CompareAndSwapInt32(&depth[u], NoParent, level) {
-					next[u] = true
+		parallel.ForChunk(len(frontier), p, func(lo, hi int) {
+			if bg != nil {
+				var sv uint64
+				scan := func(bs []uint32) bool {
+					s, lv := sv, level // hoist heap captures off the loop
+					for _, u := range bs {
+						if atomic.CompareAndSwapInt32(&depth[u], NoParent, lv) {
+							next[u] = true
+						}
+						if depth[u] == lv {
+							atomic.AddUint64(&sigma[u], s)
+						}
+					}
+					return true
 				}
-				if depth[u] == level {
-					atomic.AddUint64(&sigma[u], sv)
+				for i := lo; i < hi; i++ {
+					v := frontier[i]
+					sv = sigma[v]
+					bg.NeighborBlocks(v, scan)
 				}
-			})
-		})
-		nf := make([]uint32, 0, len(frontier))
-		for v, ok := range next {
-			if ok {
-				nf = append(nf, uint32(v))
+				return
 			}
-		}
-		frontier = nf
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				sv := sigma[v]
+				g.ForEachNeighbor(v, func(u uint32) {
+					if atomic.CompareAndSwapInt32(&depth[u], NoParent, level) {
+						next[u] = true
+					}
+					if depth[u] == level {
+						atomic.AddUint64(&sigma[u], sv)
+					}
+				})
+			}
+		})
+		// Each level's frontier is retained in levels for the backward
+		// sweep, so collect into a fresh slice rather than reusing one.
+		frontier = collectFrontier(make([]uint32, 0, len(frontier)), next, bufs, p)
 	}
 
 	// Backward sweep: vertices of level d read the finished deltas of
@@ -64,16 +85,40 @@ func BC(g engine.Graph, src uint32, p int) []float64 {
 	delta := make([]float64, n)
 	for l := len(levels) - 2; l >= 0; l-- {
 		lv := levels[l]
-		parallel.For(len(lv), p, func(i int) {
-			v := lv[i]
-			dv := int32(l)
-			var acc float64
-			g.ForEachNeighbor(v, func(u uint32) {
-				if depth[u] == dv+1 && sigma[u] > 0 {
-					acc += float64(sigma[v]) / float64(sigma[u]) * (1 + delta[u])
+		dv := int32(l)
+		parallel.ForChunk(len(lv), p, func(lo, hi int) {
+			if bg != nil {
+				var sv float64
+				var acc float64
+				sum := func(bs []uint32) bool {
+					var s float64 // block-local: spill to acc once per block
+					for _, u := range bs {
+						if depth[u] == dv+1 && sigma[u] > 0 {
+							s += sv / float64(sigma[u]) * (1 + delta[u])
+						}
+					}
+					acc += s
+					return true
 				}
-			})
-			delta[v] = acc
+				for i := lo; i < hi; i++ {
+					v := lv[i]
+					sv = float64(sigma[v])
+					acc = 0
+					bg.NeighborBlocks(v, sum)
+					delta[v] = acc
+				}
+				return
+			}
+			for i := lo; i < hi; i++ {
+				v := lv[i]
+				var acc float64
+				g.ForEachNeighbor(v, func(u uint32) {
+					if depth[u] == dv+1 && sigma[u] > 0 {
+						acc += float64(sigma[v]) / float64(sigma[u]) * (1 + delta[u])
+					}
+				})
+				delta[v] = acc
+			}
 		})
 	}
 	delta[src] = 0

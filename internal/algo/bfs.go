@@ -37,6 +37,7 @@ func BFS(g engine.Graph, src uint32, p int) []int32 {
 	frontier := []uint32{src}
 	inFrontier := make([]bool, n)
 	next := make([]bool, n)
+	bufs := frontierBufs(p)
 	totalEdges := g.NumEdges()
 	for len(frontier) > 0 {
 		// Direction heuristic (Beamer): go bottom-up when the frontier
@@ -60,53 +61,93 @@ func BFS(g engine.Graph, src uint32, p int) []int32 {
 		} else {
 			bfsTopDown(g, frontier, parent, next, p)
 		}
-		frontier = frontier[:0]
-		for v, ok := range next {
-			if ok {
-				frontier = append(frontier, uint32(v))
-			}
-		}
+		frontier = collectFrontier(frontier, next, bufs, p)
 	}
 	obsBFS.done(t, traversed)
 	return parent
 }
 
 func bfsTopDown(g engine.Graph, frontier []uint32, parent []int32, next []bool, p int) {
-	parallel.For(len(frontier), p, func(i int) {
-		v := frontier[i]
-		g.ForEachNeighbor(v, func(u uint32) {
-			if atomic.CompareAndSwapInt32(&parent[u], NoParent, int32(v)) {
-				next[u] = true
+	bg := blocker(g)
+	parallel.ForChunk(len(frontier), p, func(lo, hi int) {
+		if bg != nil {
+			var v uint32
+			scan := func(bs []uint32) bool {
+				pv := int32(v) // hoist the heap-captured source off the loop
+				for _, u := range bs {
+					if atomic.CompareAndSwapInt32(&parent[u], NoParent, pv) {
+						next[u] = true
+					}
+				}
+				return true
 			}
-		})
+			for i := lo; i < hi; i++ {
+				v = frontier[i]
+				bg.NeighborBlocks(v, scan)
+			}
+			return
+		}
+		for i := lo; i < hi; i++ {
+			v := frontier[i]
+			g.ForEachNeighbor(v, func(u uint32) {
+				if atomic.CompareAndSwapInt32(&parent[u], NoParent, int32(v)) {
+					next[u] = true
+				}
+			})
+		}
 	})
 }
 
 func bfsBottomUp(g engine.Graph, parent []int32, inFrontier, next []bool, p int) {
-	parallel.For(len(parent), p, func(i int) {
-		if parent[i] != NoParent {
-			return
-		}
-		v := uint32(i)
-		done := false
-		if gu, ok := g.(untilGraph); ok {
-			gu.ForEachNeighborUntil(v, func(u uint32) bool {
-				if inFrontier[u] {
-					parent[i] = int32(u)
-					next[i] = true
-					return false
+	bg := blocker(g)
+	parallel.ForChunk(len(parent), p, func(lo, hi int) {
+		if bg != nil {
+			// Returning false from the yield gives block-granular early
+			// exit once a frontier parent is found.
+			var v int
+			scan := func(bs []uint32) bool {
+				for _, u := range bs {
+					if inFrontier[u] {
+						parent[v] = int32(u)
+						next[v] = true
+						return false
+					}
 				}
 				return true
-			})
+			}
+			for v = lo; v < hi; v++ {
+				if parent[v] == NoParent {
+					bg.NeighborBlocks(uint32(v), scan)
+				}
+			}
 			return
 		}
-		g.ForEachNeighbor(v, func(u uint32) {
-			if !done && inFrontier[u] {
-				parent[i] = int32(u)
-				next[i] = true
-				done = true
+		gu, hasUntil := g.(untilGraph)
+		for i := lo; i < hi; i++ {
+			if parent[i] != NoParent {
+				continue
 			}
-		})
+			v := uint32(i)
+			if hasUntil {
+				gu.ForEachNeighborUntil(v, func(u uint32) bool {
+					if inFrontier[u] {
+						parent[i] = int32(u)
+						next[i] = true
+						return false
+					}
+					return true
+				})
+				continue
+			}
+			done := false
+			g.ForEachNeighbor(v, func(u uint32) {
+				if !done && inFrontier[u] {
+					parent[i] = int32(u)
+					next[i] = true
+					done = true
+				}
+			})
+		}
 	})
 }
 
@@ -130,6 +171,8 @@ func BFSLevels(g engine.Graph, src uint32, p int) []int32 {
 	frontier := []uint32{src}
 	level := int32(0)
 	next := make([]bool, n)
+	bufs := frontierBufs(p)
+	bg := blocker(g)
 	for len(frontier) > 0 {
 		if t.active() {
 			traversed += frontierDegreeSum(g, frontier)
@@ -138,19 +181,31 @@ func BFSLevels(g engine.Graph, src uint32, p int) []int32 {
 			next[i] = false
 		}
 		level++
-		parallel.For(len(frontier), p, func(i int) {
-			g.ForEachNeighbor(frontier[i], func(u uint32) {
-				if atomic.CompareAndSwapInt32(&depth[u], NoParent, level) {
-					next[u] = true
+		parallel.ForChunk(len(frontier), p, func(lo, hi int) {
+			if bg != nil {
+				scan := func(bs []uint32) bool {
+					lv := level // hoist the heap-captured level off the loop
+					for _, u := range bs {
+						if atomic.CompareAndSwapInt32(&depth[u], NoParent, lv) {
+							next[u] = true
+						}
+					}
+					return true
 				}
-			})
-		})
-		frontier = frontier[:0]
-		for v, ok := range next {
-			if ok {
-				frontier = append(frontier, uint32(v))
+				for i := lo; i < hi; i++ {
+					bg.NeighborBlocks(frontier[i], scan)
+				}
+				return
 			}
-		}
+			for i := lo; i < hi; i++ {
+				g.ForEachNeighbor(frontier[i], func(u uint32) {
+					if atomic.CompareAndSwapInt32(&depth[u], NoParent, level) {
+						next[u] = true
+					}
+				})
+			}
+		})
+		frontier = collectFrontier(frontier, next, bufs, p)
 	}
 	obsBFSLvl.done(t, traversed)
 	return depth

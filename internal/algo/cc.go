@@ -1,25 +1,11 @@
 package algo
 
 import (
-	"math"
 	"sync/atomic"
-	"unsafe"
 
 	"lsgraph/internal/engine"
 	"lsgraph/internal/parallel"
 )
-
-// atomicAddFloat adds v to *addr with a CAS loop.
-func atomicAddFloat(addr *float64, v float64) {
-	bits := (*uint64)(unsafe.Pointer(addr))
-	for {
-		old := atomic.LoadUint64(bits)
-		nw := math.Float64bits(math.Float64frombits(old) + v)
-		if atomic.CompareAndSwapUint64(bits, old, nw) {
-			return
-		}
-	}
-}
 
 // atomicMinUint32 lowers *addr to v if v is smaller, reporting whether it
 // changed the value.
@@ -52,6 +38,8 @@ func CC(g engine.Graph, p int) []uint32 {
 		frontier[i] = uint32(i)
 	}
 	changed := make([]bool, n)
+	bufs := frontierBufs(p)
+	bg := blocker(g)
 	for len(frontier) > 0 {
 		if t.active() {
 			traversed += frontierDegreeSum(g, frontier)
@@ -59,21 +47,36 @@ func CC(g engine.Graph, p int) []uint32 {
 		for i := range changed {
 			changed[i] = false
 		}
-		parallel.For(len(frontier), p, func(i int) {
-			v := frontier[i]
-			cv := atomic.LoadUint32(&comp[v])
-			g.ForEachNeighbor(v, func(u uint32) {
-				if atomicMinUint32(&comp[u], cv) {
-					changed[u] = true
+		parallel.ForChunk(len(frontier), p, func(lo, hi int) {
+			if bg != nil {
+				var cv uint32
+				scan := func(bs []uint32) bool {
+					c := cv // hoist the heap-captured label off the loop
+					for _, u := range bs {
+						if atomicMinUint32(&comp[u], c) {
+							changed[u] = true
+						}
+					}
+					return true
 				}
-			})
-		})
-		frontier = frontier[:0]
-		for v, ok := range changed {
-			if ok {
-				frontier = append(frontier, uint32(v))
+				for i := lo; i < hi; i++ {
+					v := frontier[i]
+					cv = atomic.LoadUint32(&comp[v])
+					bg.NeighborBlocks(v, scan)
+				}
+				return
 			}
-		}
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				cv := atomic.LoadUint32(&comp[v])
+				g.ForEachNeighbor(v, func(u uint32) {
+					if atomicMinUint32(&comp[u], cv) {
+						changed[u] = true
+					}
+				})
+			}
+		})
+		frontier = collectFrontier(frontier, changed, bufs, p)
 	}
 	obsCC.done(t, traversed)
 	return comp

@@ -29,9 +29,17 @@ func PageRank(g engine.Graph, iters, p int) []float64 {
 	for i := range rank {
 		rank[i] = inv
 	}
+	bg := blocker(g)
+	// One cache-line-padded accumulator slot per worker: ForChunkW runs one
+	// goroutine per worker index, so each slot is written by exactly one
+	// goroutine — no atomics, no false sharing, and (unlike the old
+	// hash-by-chunk-index scheme) no collisions between workers.
+	danglingParts := make([]padF64, workers(p))
 	for it := 0; it < iters; it++ {
-		var danglingParts = make([]float64, parallel.Procs+1)
-		parallel.ForChunk(n, p, func(lo, hi int) {
+		for i := range danglingParts {
+			danglingParts[i].v = 0
+		}
+		parallel.ForChunkW(n, p, func(w, lo, hi int) {
 			var dangling float64
 			for v := lo; v < hi; v++ {
 				d := g.Degree(uint32(v))
@@ -42,22 +50,42 @@ func PageRank(g engine.Graph, iters, p int) []float64 {
 				}
 				contrib[v] = rank[v] / float64(d)
 			}
-			// Chunks are claimed dynamically; accumulate via index hash to
-			// avoid a lock (false sharing is acceptable at this frequency).
-			slot := lo / 64 % len(danglingParts)
-			atomicAddFloat(&danglingParts[slot], dangling)
+			danglingParts[w].v += dangling
 		})
 		var dangling float64
-		for _, dp := range danglingParts {
-			dangling += dp
+		for i := range danglingParts {
+			dangling += danglingParts[i].v
 		}
 		base := (1-PageRankDamping)*inv + PageRankDamping*dangling*inv
-		parallel.For(n, p, func(v int) {
+		parallel.ForChunk(n, p, func(lo, hi int) {
+			if bg != nil {
+				// One closure per chunk, not per vertex: the yield ranges a
+				// contiguous slice, so the per-edge cost is one indexed load
+				// and add. The captured accumulator lives on the heap, so
+				// sum into a register-local and spill once per block.
+				var acc float64
+				sum := func(bs []uint32) bool {
+					var s float64
+					for _, u := range bs {
+						s += contrib[u]
+					}
+					acc += s
+					return true
+				}
+				for v := lo; v < hi; v++ {
+					acc = 0
+					bg.NeighborBlocks(uint32(v), sum)
+					next[v] = base + PageRankDamping*acc
+				}
+				return
+			}
 			var acc float64
-			g.ForEachNeighbor(uint32(v), func(u uint32) {
-				acc += contrib[u]
-			})
-			next[v] = base + PageRankDamping*acc
+			each := func(u uint32) { acc += contrib[u] }
+			for v := lo; v < hi; v++ {
+				acc = 0
+				g.ForEachNeighbor(uint32(v), each)
+				next[v] = base + PageRankDamping*acc
+			}
 		})
 		rank, next = next, rank
 	}

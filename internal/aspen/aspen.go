@@ -49,6 +49,12 @@ func (g *Graph) ForEachNeighborUntil(v uint32, f func(u uint32) bool) {
 	walkUntil(g.roots[v], f)
 }
 
+// NeighborBlocks yields v's neighbors chunk by chunk in ascending order
+// (engine.NeighborBlocker); each block is one tree node's sorted chunk.
+func (g *Graph) NeighborBlocks(v uint32, yield func(block []uint32) bool) {
+	blocksUntil(g.roots[v], yield)
+}
+
 // InsertBatch adds the directed edges (src[i] -> dst[i]).
 func (g *Graph) InsertBatch(src, dst []uint32) { g.applyBatch(src, dst, true) }
 

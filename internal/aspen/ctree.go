@@ -273,6 +273,22 @@ func walkUntil(n *cnode, f func(uint32) bool) bool {
 	return walkUntil(n.right, f)
 }
 
+// blocksUntil yields each chunk of the in-order walk as one slice aliasing
+// the node's storage — Aspen's honest block granularity: contiguity ends
+// at every chunk boundary, with a pointer chase between yields.
+func blocksUntil(n *cnode, yield func(block []uint32) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !blocksUntil(n.left, yield) {
+		return false
+	}
+	if !yield(n.chunk[:len(n.chunk):len(n.chunk)]) {
+		return false
+	}
+	return blocksUntil(n.right, yield)
+}
+
 func memoryOf(n *cnode) uint64 {
 	if n == nil {
 		return 0

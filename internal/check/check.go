@@ -115,7 +115,9 @@ func Snapshot(snap *core.Snapshot, ref engine.Graph) (err error) {
 	if m != snap.NumEdges() {
 		return fmt.Errorf("check: degree sum %d != NumEdges %d", m, snap.NumEdges())
 	}
-	return nil
+	// The CSR view also serves the block read path; its blocks must
+	// re-segment the adjacency exactly.
+	return Blocks(snap)
 }
 
 // equalAdjacency compares one vertex's snapshot adjacency against ref.
@@ -136,6 +138,44 @@ func equalAdjacency(v uint32, ns []uint32, ref engine.Graph) error {
 	})
 	if bad != "" {
 		return fmt.Errorf("%s", bad)
+	}
+	return nil
+}
+
+// Blocks validates g's block-granular read path against its per-edge
+// traversal: for every vertex the yielded blocks must be non-empty
+// ascending slices whose concatenation equals the ForEachNeighbor order
+// (the engine.NeighborBlocker contract). Engines without a native block
+// path pass trivially.
+func Blocks(g engine.Graph) error {
+	bg, ok := g.(engine.NeighborBlocker)
+	if !ok {
+		return nil
+	}
+	n := g.NumVertices()
+	for v := uint32(0); v < n; v++ {
+		want := engine.Neighbors(g, v)
+		i, bad := 0, ""
+		bg.NeighborBlocks(v, func(bs []uint32) bool {
+			if len(bs) == 0 {
+				bad = fmt.Sprintf("check: vertex %d yielded an empty block", v)
+				return false
+			}
+			for _, u := range bs {
+				if i >= len(want) || want[i] != u {
+					bad = fmt.Sprintf("check: vertex %d block path diverges from traversal at element %d", v, i)
+					return false
+				}
+				i++
+			}
+			return true
+		})
+		if bad != "" {
+			return fmt.Errorf("%s", bad)
+		}
+		if i != len(want) {
+			return fmt.Errorf("check: vertex %d block path yielded %d of %d neighbors", v, i, len(want))
+		}
 	}
 	return nil
 }

@@ -400,7 +400,9 @@ func compareGraphs(got engine.Graph, ref *refgraph.Graph) error {
 			}
 		}
 	}
-	return nil
+	// The per-edge surface matched the oracle; the block surface must
+	// re-segment it exactly (no-op for engines without a block path).
+	return Blocks(got)
 }
 
 // kernel runs one analytics kernel. ModeCore compares the kernel's result

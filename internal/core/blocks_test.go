@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lsgraph/internal/gen"
+	"lsgraph/internal/refgraph"
+)
+
+// neighborsByBlocks collects v's adjacency through the block path,
+// failing on contract violations (empty or unsorted blocks).
+func neighborsByBlocks(t *testing.T, g *Graph, v uint32) []uint32 {
+	t.Helper()
+	var out []uint32
+	g.NeighborBlocks(v, func(bs []uint32) bool {
+		if len(bs) == 0 {
+			t.Fatalf("vertex %d: empty block yielded", v)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				t.Fatalf("vertex %d: block unsorted at %d", v, i)
+			}
+		}
+		out = append(out, bs...)
+		return true
+	})
+	return out
+}
+
+func requireBlocksMatchGraph(t *testing.T, g *Graph) {
+	t.Helper()
+	n := g.NumVertices()
+	for v := uint32(0); v < n; v++ {
+		want := neighbors(g, v)
+		got := neighborsByBlocks(t, g, v)
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d: blocks yield %d neighbors, callback %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vertex %d: blocks diverge at %d: %d want %d", v, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNeighborBlocksMatchForEachUnderChurn runs randomized batch churn —
+// small thresholds force inline→array→RIA→HITree promotions — across all
+// shard counts, checking block/callback equivalence for the live graph
+// and its CSR snapshot after every batch.
+func TestNeighborBlocksMatchForEachUnderChurn(t *testing.T) {
+	const n = 512
+	for _, shards := range []int{1, 2, 4, 7} {
+		cfg := Config{Shards: shards, Workers: 2, ArrayMax: 8, M: 64}
+		g := New(n, cfg)
+		ref := refgraph.New(n)
+		rm := gen.NewRMatPaper(9, uint64(31+shards))
+		rng := rand.New(rand.NewSource(int64(shards)))
+		for round := 0; round < 5; round++ {
+			batch := rm.Edges(2500)
+			src := make([]uint32, len(batch))
+			dst := make([]uint32, len(batch))
+			for i, e := range batch {
+				src[i], dst[i] = e.Src, e.Dst
+				ref.Insert(e.Src, e.Dst)
+			}
+			g.InsertBatch(src, dst)
+			// Delete a random slice of the batch again.
+			k := rng.Intn(len(batch))
+			g.DeleteBatch(src[:k], dst[:k])
+			for i := 0; i < k; i++ {
+				ref.Delete(src[i], dst[i])
+			}
+			requireBlocksMatchGraph(t, g)
+			// The snapshot serves the same block contract from CSR.
+			snap := g.Snapshot()
+			for v := uint32(0); v < n; v++ {
+				want := ref.Neighbors(v)
+				var got []uint32
+				snap.NeighborBlocks(v, func(bs []uint32) bool {
+					if len(bs) == 0 {
+						t.Fatalf("snapshot vertex %d: empty block", v)
+					}
+					got = append(got, bs...)
+					return true
+				})
+				if len(got) != len(want) {
+					t.Fatalf("snapshot vertex %d: %d neighbors via blocks, oracle %d", v, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("snapshot vertex %d: blocks diverge at %d", v, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborBlocksEarlyStop checks that yield returning false stops
+// iteration mid-adjacency, including across the inline/overflow seam.
+func TestNeighborBlocksEarlyStop(t *testing.T) {
+	g := New(1024, Config{ArrayMax: 8, M: 64})
+	var src, dst []uint32
+	for u := uint32(1); u < 1000; u++ {
+		src = append(src, 0)
+		dst = append(dst, u)
+	}
+	g.InsertBatch(src, dst) // vertex 0 holds inline + HITree overflow
+	calls := 0
+	g.NeighborBlocks(0, func(bs []uint32) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("yield called %d times after returning false", calls)
+	}
+}

@@ -248,6 +248,29 @@ func (g *Graph) ForEachNeighborUntil(v uint32, f func(u uint32) bool) {
 	}
 }
 
+// NeighborBlocks yields v's neighbors as ascending contiguous segments
+// aliasing the engine's storage — the inline prefix first, then the
+// overflow structure's occupied runs (engine.NeighborBlocker). Blocks are
+// valid only until yield returns and must not be mutated or retained.
+func (g *Graph) NeighborBlocks(v uint32, yield func(block []uint32) bool) {
+	vb := g.vb(v)
+	if vb == nil {
+		return
+	}
+	neighborBlocksVB(vb, yield)
+}
+
+// neighborBlocksVB is NeighborBlocks on a resolved vertex block.
+func neighborBlocksVB(vb *vertex, yield func(block []uint32) bool) {
+	n := vb.inlineLen()
+	if n > 0 && !yield(vb.inline[:n:n]) {
+		return
+	}
+	if vb.ov != nil {
+		vb.ov.Blocks(yield)
+	}
+}
+
 // appendNeighborsVB appends vb's neighbors in ascending order to dst.
 func appendNeighborsVB(vb *vertex, dst []uint32) []uint32 {
 	n := vb.inlineLen()

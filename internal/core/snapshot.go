@@ -165,3 +165,12 @@ func (s *Snapshot) ForEachNeighborUntil(v uint32, f func(u uint32) bool) {
 		}
 	}
 }
+
+// NeighborBlocks yields v's entire CSR segment as one block aliasing
+// snapshot storage (engine.NeighborBlocker) — the ideal case for the block
+// read path: one yield per vertex, fully contiguous.
+func (s *Snapshot) NeighborBlocks(v uint32, yield func(block []uint32) bool) {
+	if ns := s.Neighbors(v); len(ns) > 0 {
+		yield(ns[:len(ns):len(ns)])
+	}
+}

@@ -19,6 +19,10 @@ type overflow interface {
 	DeleteMin() uint32
 	Traverse(f func(u uint32))
 	TraverseUntil(f func(u uint32) bool) bool
+	// Blocks yields ascending contiguous segments aliasing the structure's
+	// backing storage, under the engine.NeighborBlocker contract; it
+	// reports whether the walk ran to completion.
+	Blocks(yield func(block []uint32) bool) bool
 	AppendTo(dst []uint32) []uint32
 	Memory() uint64
 	IndexMemory() uint64
@@ -122,6 +126,13 @@ func (a *arrOverflow) TraverseUntil(f func(uint32) bool) bool {
 	return true
 }
 
+func (a *arrOverflow) Blocks(yield func([]uint32) bool) bool {
+	if len(a.data) == 0 {
+		return true
+	}
+	return yield(a.data[:len(a.data):len(a.data)])
+}
+
 func (a *arrOverflow) AppendTo(dst []uint32) []uint32 { return append(dst, a.data...) }
 func (a *arrOverflow) Memory() uint64                 { return uint64(cap(a.data)*4 + 24) }
 func (a *arrOverflow) IndexMemory() uint64            { return 0 }
@@ -131,13 +142,16 @@ type pmaOverflow struct {
 	p *pma.PMA[uint32]
 }
 
-func (o *pmaOverflow) Insert(u uint32) bool           { return o.p.Insert(u) }
-func (o *pmaOverflow) Delete(u uint32) bool           { return o.p.Delete(u) }
-func (o *pmaOverflow) Has(u uint32) bool              { return o.p.Has(u) }
-func (o *pmaOverflow) Len() int                       { return o.p.Len() }
-func (o *pmaOverflow) Min() uint32                    { return o.p.Min() }
-func (o *pmaOverflow) DeleteMin() uint32              { return o.p.DeleteMin() }
-func (o *pmaOverflow) Traverse(f func(uint32))        { o.p.Traverse(f) }
+func (o *pmaOverflow) Insert(u uint32) bool    { return o.p.Insert(u) }
+func (o *pmaOverflow) Delete(u uint32) bool    { return o.p.Delete(u) }
+func (o *pmaOverflow) Has(u uint32) bool       { return o.p.Has(u) }
+func (o *pmaOverflow) Len() int                { return o.p.Len() }
+func (o *pmaOverflow) Min() uint32             { return o.p.Min() }
+func (o *pmaOverflow) DeleteMin() uint32       { return o.p.DeleteMin() }
+func (o *pmaOverflow) Traverse(f func(uint32)) { o.p.Traverse(f) }
+func (o *pmaOverflow) Blocks(yield func([]uint32) bool) bool {
+	return o.p.Blocks(yield)
+}
 func (o *pmaOverflow) AppendTo(dst []uint32) []uint32 { return o.p.AppendTo(dst) }
 func (o *pmaOverflow) Memory() uint64                 { return o.p.Memory() }
 func (o *pmaOverflow) IndexMemory() uint64            { return 0 }

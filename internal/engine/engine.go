@@ -44,6 +44,76 @@ type Engine interface {
 	Name() string
 }
 
+// NeighborBlocker is the block-granular read path, implemented by engines
+// whose adjacency lives in contiguous memory (LSGraph's inline prefix and
+// RIA/LIA blocks, Aspen's tree chunks, PaC-tree leaves, CSR snapshots).
+// It is optional: kernels detect it and fall back to ForEachNeighbor via
+// BlocksFromForEach, keeping the callback API as the compatibility surface.
+type NeighborBlocker interface {
+	// NeighborBlocks yields v's adjacency as a sequence of non-empty,
+	// ascending []uint32 segments whose concatenation equals the
+	// ForEachNeighbor order. Blocks alias the engine's backing storage:
+	// they are valid only until yield returns and must not be mutated or
+	// retained. Returning false from yield stops the iteration. The same
+	// concurrency contract as ForEachNeighbor applies.
+	NeighborBlocks(v uint32, yield func(block []uint32) bool)
+}
+
+// BlocksFromForEach adapts a callback-only engine to the block contract by
+// materializing v's neighbors into buf (grown as needed) and yielding it as
+// a single block. It returns the (possibly grown) buffer so callers can
+// reuse it across vertices; the yielded block aliases that buffer.
+func BlocksFromForEach(g Graph, v uint32, buf []uint32, yield func(block []uint32) bool) []uint32 {
+	buf = AppendNeighbors(g, v, buf[:0])
+	if len(buf) > 0 {
+		yield(buf)
+	}
+	return buf
+}
+
+// BlockCursor binds a graph's best block strategy once so per-vertex
+// iteration pays no type assertions and no per-call allocation. Each
+// worker goroutine should own its own cursor (the fallback scratch buffer
+// is not safe to share).
+type BlockCursor struct {
+	bg  NeighborBlocker // nil when g lacks a native block path
+	g   Graph
+	buf []uint32 // fallback scratch, reused across vertices
+}
+
+// NewBlockCursor returns a cursor over g, using the native block path when
+// g implements NeighborBlocker and the materializing fallback otherwise.
+func NewBlockCursor(g Graph) BlockCursor {
+	bg, _ := g.(NeighborBlocker)
+	return BlockCursor{bg: bg, g: g}
+}
+
+// Native reports whether the cursor uses a zero-copy block path.
+func (c *BlockCursor) Native() bool { return c.bg != nil }
+
+// Blocks yields v's neighbors as ascending contiguous segments, under the
+// same aliasing and termination contract as NeighborBlocks.
+func (c *BlockCursor) Blocks(v uint32, yield func(block []uint32) bool) {
+	if c.bg != nil {
+		c.bg.NeighborBlocks(v, yield)
+		return
+	}
+	c.buf = BlocksFromForEach(c.g, v, c.buf, yield)
+}
+
+// NeighborsByBlocks collects v's neighbors through the block path into a
+// fresh slice (copying, unlike the yielded blocks). Tests use it to check
+// block/callback equivalence.
+func NeighborsByBlocks(g Graph, v uint32) []uint32 {
+	out := make([]uint32, 0, g.Degree(v))
+	c := NewBlockCursor(g)
+	c.Blocks(v, func(b []uint32) bool {
+		out = append(out, b...)
+		return true
+	})
+	return out
+}
+
 // Neighbors collects v's neighbors into a fresh slice. It is a convenience
 // for tests and for analytics that materialize adjacency (the paper's TC).
 func Neighbors(g Graph, v uint32) []uint32 {

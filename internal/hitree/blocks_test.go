@@ -1,0 +1,109 @@
+package hitree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// blocksCollect gathers the block path's elements, failing on contract
+// violations (empty or internally unsorted blocks).
+func blocksCollect(t *testing.T, tr *Tree) []uint32 {
+	t.Helper()
+	var out []uint32
+	tr.Blocks(func(bs []uint32) bool {
+		if len(bs) == 0 {
+			t.Fatal("Blocks yielded an empty block")
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				t.Fatalf("block unsorted at %d: %d after %d", i, bs[i], bs[i-1])
+			}
+		}
+		out = append(out, bs...)
+		return true
+	})
+	return out
+}
+
+func requireBlocksMatch(t *testing.T, tr *Tree) {
+	t.Helper()
+	want := collect(tr)
+	got := blocksCollect(t, tr)
+	if len(got) != len(want) {
+		t.Fatalf("blocks yield %d elements, traversal %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("blocks diverge at %d: %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBlocksMatchTraverseUnderChurn churns trees through every node kind
+// — plain array leaves, RIA leaves, LIA internal nodes with merged child
+// runs and E/B slot mixes, rebuilds, and (DisableModel) bnode internals —
+// checking block/traversal equivalence throughout.
+func TestBlocksMatchTraverseUnderChurn(t *testing.T) {
+	for _, disableModel := range []bool{false, true} {
+		cfg := smallCfg()
+		cfg.DisableModel = disableModel
+		rng := rand.New(rand.NewSource(int64(43)))
+		tr := New(cfg)
+		live := make(map[uint32]bool)
+		for step := 0; step < 4000; step++ {
+			u := uint32(rng.Intn(8192))
+			if live[u] && rng.Intn(3) == 0 {
+				tr.Delete(u)
+				delete(live, u)
+			} else {
+				tr.Insert(u)
+				live[u] = true
+			}
+			if step%100 == 0 || step > 3900 {
+				requireBlocksMatch(t, tr)
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+		}
+		requireBlocksMatch(t, tr)
+	}
+}
+
+// TestBlocksBulkLoadedLIA exercises the block walk over a large
+// bulk-loaded tree whose root is an LIA (E/B slot typing, merged child
+// runs) rather than churn-grown structure.
+func TestBlocksBulkLoadedLIA(t *testing.T) {
+	cfg := smallCfg()
+	ns := make([]uint32, 0, 3000)
+	rng := rand.New(rand.NewSource(7))
+	next := uint32(0)
+	for len(ns) < cap(ns) {
+		next += uint32(1 + rng.Intn(5)) // uneven spacing stresses the model
+		ns = append(ns, next)
+	}
+	tr := BulkLoad(ns, cfg)
+	if !tr.IsLIARoot() {
+		t.Fatalf("bulk load of %d elements did not produce an LIA root", len(ns))
+	}
+	requireBlocksMatch(t, tr)
+}
+
+// TestBlocksEarlyStop checks that a false return stops the walk.
+func TestBlocksEarlyStop(t *testing.T) {
+	cfg := smallCfg()
+	tr := New(cfg)
+	for i := 0; i < 2000; i++ {
+		tr.Insert(uint32(i * 3))
+	}
+	calls := 0
+	if tr.Blocks(func(bs []uint32) bool {
+		calls++
+		return false
+	}) {
+		t.Fatal("Blocks returned true after yield returned false")
+	}
+	if calls != 1 {
+		t.Fatalf("yield called %d times after returning false", calls)
+	}
+}

@@ -101,6 +101,15 @@ func (b *bnode) traverseUntil(f func(uint32) bool) bool {
 	return true
 }
 
+func (b *bnode) blocks(yield func([]uint32) bool) bool {
+	for _, c := range b.children {
+		if !c.blocks(yield) {
+			return false
+		}
+	}
+	return true
+}
+
 func (b *bnode) appendTo(dst []uint32) []uint32 {
 	for _, c := range b.children {
 		dst = c.appendTo(dst)

@@ -59,6 +59,12 @@ func (t *Tree) Traverse(f func(u uint32)) { t.root.traverse(f) }
 // reporting whether it ran to completion.
 func (t *Tree) TraverseUntil(f func(u uint32) bool) bool { return t.root.traverseUntil(f) }
 
+// Blocks yields every element in ascending order as contiguous segments
+// aliasing the tree's storage, stopping early when yield returns false and
+// reporting whether the walk ran to completion. Segments are valid only
+// until yield returns and must not be mutated.
+func (t *Tree) Blocks(yield func(block []uint32) bool) bool { return t.root.blocks(yield) }
+
 // AppendTo appends every element in ascending order to dst.
 func (t *Tree) AppendTo(dst []uint32) []uint32 { return t.root.appendTo(dst) }
 

@@ -2,6 +2,7 @@ package hitree
 
 import (
 	"math"
+	"math/bits"
 
 	"lsgraph/internal/obs"
 	"lsgraph/internal/ria"
@@ -441,6 +442,64 @@ func (l *lia) traverseUntil(f func(uint32) bool) bool {
 					return false
 				}
 			}
+		}
+	}
+	return true
+}
+
+// blocks yields the LIA's elements as contiguous ascending segments: child
+// subtrees recurse (merged runs visited once), B-runs come out whole, and
+// E entries are grouped into maximal runs of adjacent occupied slots.
+//
+// A block's 16 slot types live in one 32-bit lane of the types array
+// (16 slots x 2 bits), so the walk decodes a whole block with a couple of
+// register bit operations instead of 16 per-slot loads: a lane of zeros
+// skips the block, and E-run boundaries fall out of trailing-zero counts
+// on the lane's E-occupancy mask.
+func (l *lia) blocks(yield func([]uint32) bool) bool {
+	nb := len(l.children)
+	for blk := 0; blk < nb; blk++ {
+		base := blk * BlockSize
+		if c := l.children[blk]; c != nil {
+			if blk > 0 && l.children[blk-1] == c {
+				continue // merged run already visited
+			}
+			if !c.blocks(yield) {
+				return false
+			}
+			continue
+		}
+		tw := uint32(l.types[blk>>1] >> uint((blk&1)*32))
+		if tw == 0 {
+			continue // every slot unused
+		}
+		if tw&3 == tB {
+			run := 1
+			for run < BlockSize && (tw>>uint(run*2))&3 == tB {
+				run++
+			}
+			if !yield(l.data[base : base+run : base+run]) {
+				return false
+			}
+			continue
+		}
+		// E/U placement: emit maximal runs of consecutive occupied slots
+		// (the model is monotone, so adjacent E entries are ascending).
+		// em has bit 2i set iff slot i holds an E entry (type 01).
+		em := tw & ^(tw >> 1) & 0x55555555
+		for em != 0 {
+			i := bits.TrailingZeros32(em) >> 1
+			// First non-E slot at or after i ends the run; a fully E tail
+			// makes nonE zero and TrailingZeros32 returns 32 → j = 16.
+			nonE := ^(em >> uint(2*i)) & 0x55555555
+			j := i + bits.TrailingZeros32(nonE)>>1
+			if !yield(l.data[base+i : base+j : base+j]) {
+				return false
+			}
+			if j >= BlockSize {
+				break
+			}
+			em &= ^uint32(0) << uint(2*j)
 		}
 	}
 	return true

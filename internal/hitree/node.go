@@ -62,6 +62,10 @@ type node interface {
 	has(u uint32) bool
 	traverse(f func(u uint32))
 	traverseUntil(f func(u uint32) bool) bool
+	// blocks yields ascending contiguous segments of the node's elements
+	// aliasing its backing storage (the engine-wide NeighborBlocks
+	// contract); it reports whether the walk ran to completion.
+	blocks(yield func(block []uint32) bool) bool
 	appendTo(dst []uint32) []uint32
 	size() int
 	min() uint32
@@ -167,6 +171,13 @@ func (l *leafArray) traverseUntil(f func(uint32) bool) bool {
 	return true
 }
 
+func (l *leafArray) blocks(yield func([]uint32) bool) bool {
+	if len(l.data) == 0 {
+		return true
+	}
+	return yield(l.data[:len(l.data):len(l.data)])
+}
+
 func (l *leafArray) appendTo(dst []uint32) []uint32 { return append(dst, l.data...) }
 func (l *leafArray) size() int                      { return len(l.data) }
 func (l *leafArray) min() uint32                    { return l.data[0] }
@@ -200,6 +211,7 @@ func (r *riaNode) delete(u uint32) (node, bool) {
 func (r *riaNode) has(u uint32) bool                      { return r.ria().Has(u) }
 func (r *riaNode) traverse(f func(uint32))                { r.ria().Traverse(f) }
 func (r *riaNode) traverseUntil(f func(uint32) bool) bool { return r.ria().TraverseUntil(f) }
+func (r *riaNode) blocks(yield func([]uint32) bool) bool  { return r.ria().Blocks(yield) }
 func (r *riaNode) appendTo(dst []uint32) []uint32         { return r.ria().AppendTo(dst) }
 func (r *riaNode) size() int                              { return r.ria().Len() }
 func (r *riaNode) min() uint32                            { return r.ria().Min() }

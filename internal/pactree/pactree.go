@@ -251,6 +251,28 @@ func walkUntil(n *pnode, f func(uint32) bool) bool {
 	return true
 }
 
+// blocksUntil yields each leaf's element array as one slice aliasing the
+// node's storage — PaC-tree's honest block granularity: runs end at leaf
+// boundaries, which is why its leaves-only layout out-blocks Aspen's
+// per-node chunks but still trails a flat array.
+func blocksUntil(n *pnode, yield func(block []uint32) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.leaf() {
+		if len(n.elems) == 0 {
+			return true
+		}
+		return yield(n.elems[:len(n.elems):len(n.elems)])
+	}
+	for _, c := range n.children {
+		if !blocksUntil(c, yield) {
+			return false
+		}
+	}
+	return true
+}
+
 func memoryOf(n *pnode) uint64 {
 	if n == nil {
 		return 0
@@ -298,6 +320,12 @@ func (g *Graph) ForEachNeighbor(v uint32, f func(u uint32)) {
 // ForEachNeighborUntil applies f in ascending order until it returns false.
 func (g *Graph) ForEachNeighborUntil(v uint32, f func(u uint32) bool) {
 	walkUntil(g.roots[v], f)
+}
+
+// NeighborBlocks yields v's neighbors leaf by leaf in ascending order
+// (engine.NeighborBlocker); each block is one leaf's sorted element array.
+func (g *Graph) NeighborBlocks(v uint32, yield func(block []uint32) bool) {
+	blocksUntil(g.roots[v], yield)
 }
 
 // InsertBatch adds the directed edges (src[i] -> dst[i]).

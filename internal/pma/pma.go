@@ -342,6 +342,29 @@ func (p *PMA[K]) Traverse(f func(k K)) {
 	}
 }
 
+// Blocks yields maximal runs of adjacent present slots as slices aliasing
+// the backing array, in ascending order, stopping early when yield returns
+// false; it reports whether the walk ran to completion. Runs are valid
+// only until yield returns and must not be mutated.
+func (p *PMA[K]) Blocks(yield func(block []K) bool) bool {
+	n := len(p.present)
+	for i := 0; i < n; {
+		if !p.present[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && p.present[j] {
+			j++
+		}
+		if !yield(p.data[i:j:j]) {
+			return false
+		}
+		i = j
+	}
+	return true
+}
+
 // TraverseRange applies f to every key in [from, to) in ascending order;
 // the Terrace engine uses it to walk one vertex's edge range inside the
 // shared array.

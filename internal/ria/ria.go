@@ -454,6 +454,36 @@ func (r *RIA) TraverseUntil(f func(u uint32) bool) bool {
 	return true
 }
 
+// Blocks yields the occupied run of every non-empty block as a slice
+// aliasing the backing array, in ascending order, coalescing runs of
+// completely full adjacent blocks into one segment (gaps live at block
+// backs, so a full block is contiguous with its successor's front). It
+// stops early when yield returns false and reports whether the walk ran
+// to completion. Yielded slices are capacity-clamped and must not be
+// mutated or retained past the yield call.
+func (r *RIA) Blocks(yield func(block []uint32) bool) bool {
+	nb := len(r.cnt)
+	for b := 0; b < nb; {
+		c := int(r.cnt[b])
+		if c == 0 {
+			b++
+			continue
+		}
+		start := b * BlockSize
+		end := start + c
+		for c == BlockSize && b+1 < nb && r.cnt[b+1] != 0 {
+			b++
+			c = int(r.cnt[b])
+			end = b*BlockSize + c
+		}
+		b++
+		if !yield(r.data[start:end:end]) {
+			return false
+		}
+	}
+	return true
+}
+
 // AppendTo appends all elements in ascending order to dst and returns it.
 func (r *RIA) AppendTo(dst []uint32) []uint32 {
 	for b := 0; b < len(r.cnt); b++ {

@@ -687,6 +687,15 @@ func (v *View) ForEachNeighborUntil(u uint32, f func(w uint32) bool) {
 	}
 }
 
+// NeighborBlocks yields u's entire pinned CSR segment as one block
+// (engine.NeighborBlocker). The block aliases pinned snapshot storage: it
+// must not be mutated, and must not be used after Release.
+func (v *View) NeighborBlocks(u uint32, yield func(block []uint32) bool) {
+	if ns := v.Neighbors(u); len(ns) > 0 {
+		yield(ns[:len(ns):len(ns)])
+	}
+}
+
 // Flatten materializes the composed view as one flat full-graph CSR,
 // lazily on first call and cached for the view's lifetime. Use it when a
 // long-running kernel would otherwise pay the per-read shard routing, or
@@ -776,6 +785,19 @@ func (s *Store) ForEachNeighbor(v uint32, f func(u uint32)) {
 	e := w.acquire()
 	if lv := v - w.shard.Base(); lv < e.snap.NumVertices() {
 		e.snap.ForEachNeighbor(lv, f)
+	}
+	w.release(e)
+}
+
+// NeighborBlocks yields v's adjacency as one block out of the owning
+// shard's snapshot current at call time (engine.NeighborBlocker). The
+// snapshot stays pinned only for the duration of the call, so the block
+// must not be retained past yield.
+func (s *Store) NeighborBlocks(v uint32, yield func(block []uint32) bool) {
+	w := s.ws[s.g.ShardOf(v)]
+	e := w.acquire()
+	if lv := v - w.shard.Base(); lv < e.snap.NumVertices() {
+		e.snap.NeighborBlocks(lv, yield)
 	}
 	w.release(e)
 }

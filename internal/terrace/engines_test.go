@@ -30,6 +30,7 @@ func checkEngine(t *testing.T, e engine.Engine, ref *refgraph.Graph) {
 	if e.NumEdges() != ref.NumEdges() {
 		t.Fatalf("%s: NumEdges %d want %d", e.Name(), e.NumEdges(), ref.NumEdges())
 	}
+	bg, hasBlocks := e.(engine.NeighborBlocker)
 	for v := uint32(0); v < ref.NumVertices(); v++ {
 		if e.Degree(v) != ref.Degree(v) {
 			t.Fatalf("%s: Degree(%d)=%d want %d", e.Name(), v, e.Degree(v), ref.Degree(v))
@@ -44,6 +45,27 @@ func checkEngine(t *testing.T, e engine.Engine, ref *refgraph.Graph) {
 				t.Fatalf("%s: vertex %d neighbor %d = %d, want %d",
 					e.Name(), v, i, got[i], want[i])
 			}
+		}
+		if !hasBlocks {
+			continue
+		}
+		// The block read path must re-segment the per-edge traversal
+		// exactly: non-empty blocks whose concatenation equals want.
+		i := 0
+		bg.NeighborBlocks(v, func(bs []uint32) bool {
+			if len(bs) == 0 {
+				t.Fatalf("%s: vertex %d yielded an empty block", e.Name(), v)
+			}
+			for _, u := range bs {
+				if i >= len(want) || want[i] != u {
+					t.Fatalf("%s: vertex %d block path diverges at element %d", e.Name(), v, i)
+				}
+				i++
+			}
+			return true
+		})
+		if i != len(want) {
+			t.Fatalf("%s: vertex %d block path yielded %d of %d neighbors", e.Name(), v, i, len(want))
 		}
 	}
 }

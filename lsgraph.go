@@ -65,6 +65,32 @@ type Reader interface {
 	ForEachNeighbor(v uint32, f func(u uint32))
 }
 
+// BlockReader is the optional block-granular read path: a Reader whose
+// adjacency lives in contiguous memory can yield it as slices instead of
+// one callback per edge, removing an interface dispatch plus a closure
+// call per edge from every kernel. *Graph, *Store, *StoreView, and
+// Graph.Snapshot's view all implement it; the kernels and EdgeMap detect
+// it once per run and fall back to ForEachNeighbor otherwise, so Reader
+// stays the compatibility surface.
+type BlockReader interface {
+	Reader
+	// NeighborBlocks yields v's adjacency as non-empty ascending []uint32
+	// segments whose concatenation equals the ForEachNeighbor order.
+	// Blocks alias engine storage: they are valid only until yield
+	// returns and must not be mutated or retained. Returning false stops
+	// the iteration.
+	NeighborBlocks(v uint32, yield func(block []uint32) bool)
+}
+
+// Compile-time checks: every Reader in the package also offers the block
+// read path.
+var (
+	_ BlockReader = (*Graph)(nil)
+	_ BlockReader = (*Store)(nil)
+	_ BlockReader = (*StoreView)(nil)
+	_ BlockReader = (*core.Snapshot)(nil)
+)
+
 // Option configures a Graph or Store at construction; see WithAlpha,
 // WithM, and WithWorkers.
 type Option func(*core.Config)
@@ -169,6 +195,15 @@ func (g *Graph) DeleteBatch(src, dst []uint32) { g.g.DeleteBatch(src, dst) }
 // It is safe to call concurrently with other reads.
 func (g *Graph) ForEachNeighbor(v uint32, f func(u uint32)) {
 	g.g.ForEachNeighbor(v, f)
+}
+
+// NeighborBlocks yields v's out-neighbors as ascending contiguous slices
+// straight out of the engine's storage: the inline vertex-block prefix
+// first, then the overflow structure's occupied runs (RIA blocks, LIA
+// runs, or whole sorted arrays), skipping gaps without copying. Blocks are
+// valid only until yield returns and must not be mutated. See BlockReader.
+func (g *Graph) NeighborBlocks(v uint32, yield func(block []uint32) bool) {
+	g.g.NeighborBlocks(v, yield)
 }
 
 // Neighbors returns v's out-neighbors in ascending order as a new slice.

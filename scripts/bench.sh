@@ -6,6 +6,9 @@
 #        hash, or "dev" outside a git checkout; or: make bench TAG=mytag)
 # Env:   BENCHTIME=10x  pass a different -benchtime (default 1x, a smoke
 #        pace -- raise it for trustworthy numbers).
+#        BENCHPKGS="./internal/algo"  override the package list.
+#        BENCHPAT='NeighborIteration|Kernel'  override the -bench pattern
+#        (default ".", everything in the selected packages).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,15 +16,18 @@ cd "$(dirname "$0")/.."
 default_tag=$(git rev-parse --short HEAD 2>/dev/null || echo dev)
 tag="${1:-$default_tag}"
 benchtime="${BENCHTIME:-1x}"
+benchpat="${BENCHPAT:-.}"
 out="BENCH_${tag}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 # The packages that define the engine's perf story: the end-to-end update
 # and analytics wrappers (root), the batch pipeline (core), the parallel
-# sort (parallel), and the overflow structures.
-for pkg in . ./internal/core ./internal/parallel ./internal/ria ./internal/hitree ./internal/pma; do
-	go test -run '^$' -bench . -benchtime "$benchtime" "$pkg"
+# sort (parallel), and the overflow structures. The analytics kernels
+# (./internal/algo) are opt-in via BENCHPKGS — see `make bench-analytics`.
+pkgs="${BENCHPKGS:-. ./internal/core ./internal/parallel ./internal/ria ./internal/hitree ./internal/pma}"
+for pkg in $pkgs; do
+	go test -run '^$' -bench "$benchpat" -benchtime "$benchtime" "$pkg"
 done | tee /dev/stderr > "$raw"
 
 awk -v tag="$tag" '

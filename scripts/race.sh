@@ -17,4 +17,5 @@ go test -race "$@" \
 	lsgraph/internal/obs \
 	lsgraph/internal/trace \
 	lsgraph/internal/check \
+	lsgraph/internal/algo \
 	lsgraph

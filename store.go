@@ -114,6 +114,14 @@ func (s *Store) ForEachNeighbor(v uint32, f func(u uint32)) {
 	s.st.ForEachNeighbor(v, f)
 }
 
+// NeighborBlocks yields v's adjacency as one contiguous slice out of the
+// owning shard's snapshot current at call time (see BlockReader). The
+// snapshot stays pinned only for the duration of the call; the block must
+// not be retained past yield.
+func (s *Store) NeighborBlocks(v uint32, yield func(block []uint32) bool) {
+	s.st.NeighborBlocks(v, yield)
+}
+
 // StoreStats is a point-in-time copy of a Store's always-on counters; see
 // the field docs in internal/serve. The same signals are exported through
 // the metrics registry (lsgraph_store_* series) when collection is on.
@@ -163,4 +171,11 @@ func (v *StoreView) Neighbors(u uint32) []uint32 {
 // ForEachNeighbor applies f to u's out-neighbors in ascending ID order.
 func (v *StoreView) ForEachNeighbor(u uint32, f func(w uint32)) {
 	v.v.ForEachNeighbor(u, f)
+}
+
+// NeighborBlocks yields u's adjacency as one contiguous slice aliasing the
+// view's pinned snapshot (see BlockReader). Unlike Neighbors, the block is
+// not a copy: it must not be mutated or used after Release.
+func (v *StoreView) NeighborBlocks(u uint32, yield func(block []uint32) bool) {
+	v.v.NeighborBlocks(u, yield)
 }
