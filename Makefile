@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify bench bench-analytics soak fuzz trace-demo clean
+.PHONY: all build test race verify bench bench-analytics soak fuzz trace-demo loadtest clean
 
 all: build
 
@@ -58,6 +58,15 @@ bench:
 bench-analytics:
 	BENCHPKGS=./internal/algo BENCHPAT='NeighborIteration|Kernel' \
 		sh scripts/bench.sh $(TAG)
+
+# End-to-end serving SLO measurement: boot lsgraphd, drive it with the
+# open-loop lsload harness (seeded Poisson arrivals, T1/T4/T5 workload
+# mixes), and write p50/p90/p99 + throughput to BENCH_pr8.json. Tune with
+# LOADTEST_TIME / LOADTEST_RATE / LOADTEST_MIX, e.g.
+# `make loadtest LOADTEST_TIME=30s LOADTEST_RATE=1000`.
+export LOADTEST_TIME LOADTEST_RATE LOADTEST_MIX LOADTEST_SHARDS LOADTEST_ADDR
+loadtest:
+	sh scripts/loadtest.sh pr8
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,182 @@
+// Command lsgraphd serves LSGraph over HTTP: the network front-end that
+// turns the in-process serving layer (lsgraph.Store) into a multi-tenant
+// streaming-graph service with batched ingest, snapshot-pinned queries and
+// kernels, admission control, and the full observability surface.
+//
+// Usage:
+//
+//	lsgraphd                                  # serve :7420, auto-create graphs
+//	lsgraphd -addr :7420 -shards 4 -queue 64  # defaults for created graphs
+//	lsgraphd -graphs social:8,metrics         # pre-create graphs (name[:shards[:queue]])
+//	lsgraphd -obs=false                       # disable metric collection
+//	lsgraphd -trace run.json -tracemode tail  # flight recorder across the run
+//
+// Endpoints (see OPERATIONS.md for the full reference with curl examples):
+//
+//	GET  /healthz                               readiness (503 while draining)
+//	GET  /v1/graphs                             list graphs
+//	PUT  /v1/graphs/{g}                         create graph (JSON config body)
+//	GET  /v1/graphs/{g}                         stats
+//	DELETE /v1/graphs/{g}                       drop graph
+//	POST /v1/graphs/{g}/edges[?op=delete]       batched ingest (NDJSON or binary)
+//	POST /v1/graphs/{g}/flush                   wait for queued batches
+//	GET  /v1/graphs/{g}/vertices/{v}/degree     point lookup
+//	GET  /v1/graphs/{g}/vertices/{v}/neighbors  adjacency scan
+//	GET  /v1/graphs/{g}/khop?src=V&depth=K      bounded traversal
+//	POST /v1/graphs/{g}/kernels/{bfs|pagerank|cc}  analytics on a pinned view
+//	GET  /metrics, /metrics.json                Prometheus / JSON metrics
+//	GET  /debug/pprof/*, /debug/trace{,/autopsy}   profiling and flight recorder
+//
+// Shutdown: on SIGINT/SIGTERM the daemon stops accepting connections,
+// waits up to -drain for in-flight requests, then closes every store —
+// which applies and publishes all queued batches, so every 202-accepted
+// batch is visible before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lsgraph"
+	"lsgraph/internal/httpserve"
+	"lsgraph/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7420", "listen address")
+		shards   = flag.Int("shards", 1, "default shard-writer count for created graphs")
+		queue    = flag.Int("queue", 64, "default per-shard queue bound in batches (backpressure threshold)")
+		vertices = flag.Uint("vertices", 1024, "default initial vertex slots for created graphs (they auto-grow)")
+		graphs   = flag.String("graphs", "", "comma-separated graphs to pre-create, each name[:shards[:queue]]")
+		auto     = flag.Bool("autocreate", true, "create a missing graph on first ingest instead of 404")
+		kernels  = flag.Int("kernels", 4, "max concurrently running kernel requests (excess shed with 429)")
+		maxBody  = flag.Int64("maxbody", 64<<20, "max ingest request body in bytes (larger rejected with 413)")
+		obsOn    = flag.Bool("obs", true, "enable metric collection (serves /metrics either way)")
+		traceO   = flag.String("trace", "", "record the flight recorder and write Chrome trace-event JSON here on exit")
+		traceMd  = flag.String("tracemode", "all", "flight-recorder sampling policy: all | sample=N | tail")
+		drain    = flag.Duration("drain", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	log.SetPrefix("lsgraphd: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	obs.SetEnabled(*obsOn)
+	if *traceO != "" {
+		m, n, err := lsgraph.ParseTraceMode(*traceMd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m == lsgraph.TraceOff {
+			m, n = lsgraph.TraceAll, 1
+		}
+		lsgraph.SetTraceMode(m, n)
+	}
+
+	srv := httpserve.New(httpserve.Config{
+		DefaultVertices: uint32(*vertices),
+		DefaultShards:   *shards,
+		DefaultMaxQueue: *queue,
+		AutoCreate:      *auto,
+		MaxKernels:      *kernels,
+		MaxBodyBytes:    *maxBody,
+	})
+	for _, spec := range strings.Split(*graphs, ",") {
+		if spec = strings.TrimSpace(spec); spec == "" {
+			continue
+		}
+		name, gc, err := parseGraphSpec(spec)
+		if err != nil {
+			log.Fatalf("-graphs: %v", err)
+		}
+		if _, _, err := srv.CreateGraph(name, gc); err != nil {
+			log.Fatalf("-graphs: %v", err)
+		}
+		log.Printf("created graph %q (shards=%d queue=%d)", name, max(gc.Shards, *shards), max(gc.MaxQueue, *queue))
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (graphs=%v autocreate=%v shards=%d queue=%d kernels=%d)",
+			*addr, srv.GraphNames(), *auto, *shards, *queue, *kernels)
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("shutting down: draining in-flight requests (max %s)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("draining writer queues")
+	srv.Close() // applies every queued batch before returning
+	if *traceO != "" {
+		if err := writeTrace(*traceO); err != nil {
+			log.Printf("trace: %v", err)
+		} else {
+			log.Printf("wrote flight-recorder trace to %s", *traceO)
+		}
+	}
+	log.Printf("bye")
+}
+
+// parseGraphSpec parses one -graphs entry: name[:shards[:queue]].
+func parseGraphSpec(spec string) (string, httpserve.GraphConfig, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) > 3 {
+		return "", httpserve.GraphConfig{}, fmt.Errorf("bad graph spec %q (want name[:shards[:queue]])", spec)
+	}
+	var gc httpserve.GraphConfig
+	if len(parts) >= 2 {
+		s, err := strconv.Atoi(parts[1])
+		if err != nil || s <= 0 {
+			return "", httpserve.GraphConfig{}, fmt.Errorf("bad shard count in %q", spec)
+		}
+		gc.Shards = s
+	}
+	if len(parts) == 3 {
+		q, err := strconv.Atoi(parts[2])
+		if err != nil || q <= 0 {
+			return "", httpserve.GraphConfig{}, fmt.Errorf("bad queue bound in %q", spec)
+		}
+		gc.MaxQueue = q
+	}
+	return parts[0], gc, nil
+}
+
+// writeTrace dumps the flight recorder as Chrome trace-event JSON.
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := lsgraph.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

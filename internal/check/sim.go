@@ -26,6 +26,8 @@ const (
 	ModeStore
 )
 
+// String names the mode for test labels and replay commands: "core" or
+// "store".
 func (m Mode) String() string {
 	if m == ModeStore {
 		return "store"

@@ -1,0 +1,174 @@
+package httpserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"strings"
+)
+
+// Edge-batch wire formats. Ingest accepts two encodings, chosen by the
+// request Content-Type:
+//
+//   - NDJSON (application/x-ndjson; also accepted as application/json,
+//     text/plain, curl's --data default application/x-www-form-urlencoded,
+//     and when no type is given): one edge per line, either the compact
+//     pair form `[src,dst]` or the object form `{"src":S,"dst":D}`. Blank
+//     lines are ignored. Human-writable — this is what curl examples use.
+//   - Binary (application/octet-stream): packed little-endian uint32
+//     pairs, 8 bytes per edge, no framing. 4-5× smaller and an order of
+//     magnitude cheaper to decode than NDJSON; the load harness and any
+//     throughput-sensitive writer should use it.
+//
+// Both decoders stream: memory is O(batch), independent of body framing.
+
+// ContentTypeBinary is the Content-Type of the packed binary edge format.
+const ContentTypeBinary = "application/octet-stream"
+
+// ContentTypeNDJSON is the canonical Content-Type of the NDJSON edge
+// format.
+const ContentTypeNDJSON = "application/x-ndjson"
+
+// jsonEdge is the NDJSON object form of one edge.
+type jsonEdge struct {
+	Src uint32 `json:"src"`
+	Dst uint32 `json:"dst"`
+}
+
+// DecodeEdges reads an entire edge batch from r in the format named by
+// contentType (see the package forms above) and returns it in the
+// engine's columnar src/dst layout. A batch larger than maxEdges edges is
+// rejected with an error rather than truncated.
+func DecodeEdges(contentType string, r io.Reader, maxEdges int) (src, dst []uint32, err error) {
+	mt := contentType
+	if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
+		mt = parsed
+	}
+	switch mt {
+	case ContentTypeBinary:
+		return decodeBinary(r, maxEdges)
+	case "", ContentTypeNDJSON, "application/json", "text/plain",
+		"application/x-www-form-urlencoded": // curl's --data/--data-binary default
+		return decodeNDJSON(r, maxEdges)
+	default:
+		return nil, nil, fmt.Errorf("unsupported Content-Type %q (want %s or %s)",
+			contentType, ContentTypeNDJSON, ContentTypeBinary)
+	}
+}
+
+// decodeBinary reads packed little-endian uint32 pairs until EOF.
+func decodeBinary(r io.Reader, maxEdges int) (src, dst []uint32, err error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if err == io.EOF {
+				return src, dst, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return nil, nil, fmt.Errorf("binary edge batch truncated mid-edge (body must be a multiple of 8 bytes)")
+			}
+			return nil, nil, err
+		}
+		if len(src) >= maxEdges {
+			return nil, nil, fmt.Errorf("edge batch exceeds %d edges", maxEdges)
+		}
+		src = append(src, binary.LittleEndian.Uint32(buf[0:4]))
+		dst = append(dst, binary.LittleEndian.Uint32(buf[4:8]))
+	}
+}
+
+// decodeNDJSON reads one edge per line in either the `[src,dst]` pair form
+// (parsed without reflection — the hot path) or the `{"src":..,"dst":..}`
+// object form.
+func decodeNDJSON(r io.Reader, maxEdges int) (src, dst []uint32, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if len(src) >= maxEdges {
+			return nil, nil, fmt.Errorf("edge batch exceeds %d edges", maxEdges)
+		}
+		var s, d uint32
+		if text[0] == '[' {
+			s, d, err = parsePairLine(text)
+		} else {
+			var e jsonEdge
+			err = json.Unmarshal([]byte(text), &e)
+			s, d = e.Src, e.Dst
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		src = append(src, s)
+		dst = append(dst, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return src, dst, nil
+}
+
+// parsePairLine parses the compact `[src,dst]` form with optional spaces.
+func parsePairLine(text string) (s, d uint32, err error) {
+	body := strings.TrimSpace(text)
+	if len(body) < 2 || body[0] != '[' || body[len(body)-1] != ']' {
+		return 0, 0, fmt.Errorf("malformed edge pair %q", text)
+	}
+	body = body[1 : len(body)-1]
+	comma := strings.IndexByte(body, ',')
+	if comma < 0 {
+		return 0, 0, fmt.Errorf("malformed edge pair %q", text)
+	}
+	s, err = parseUint32(strings.TrimSpace(body[:comma]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad src in %q: %v", text, err)
+	}
+	d, err = parseUint32(strings.TrimSpace(body[comma+1:]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad dst in %q: %v", text, err)
+	}
+	return s, d, nil
+}
+
+// parseUint32 parses a non-negative decimal that fits uint32, without
+// strconv's error allocation on the hot path.
+func parseUint32(s string) (uint32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("invalid digit %q", c)
+		}
+		v = v*10 + uint64(c-'0')
+		if v > 1<<32-1 {
+			return 0, fmt.Errorf("value overflows uint32")
+		}
+	}
+	return uint32(v), nil
+}
+
+// AppendBinaryEdges appends the batch's packed binary encoding (the
+// ContentTypeBinary wire form: little-endian uint32 pairs) to dst and
+// returns it. The inverse of DecodeEdges for the binary format; the load
+// harness builds its write bodies with it.
+func AppendBinaryEdges(dst []byte, src, dsts []uint32) []byte {
+	var buf [8]byte
+	for i := range src {
+		binary.LittleEndian.PutUint32(buf[0:4], src[i])
+		binary.LittleEndian.PutUint32(buf[4:8], dsts[i])
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}

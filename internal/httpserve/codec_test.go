@@ -1,0 +1,95 @@
+package httpserve
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]uint32, 1000)
+	dst := make([]uint32, 1000)
+	for i := range src {
+		src[i] = rng.Uint32()
+		dst[i] = rng.Uint32()
+	}
+	body := AppendBinaryEdges(nil, src, dst)
+	if len(body) != 8*len(src) {
+		t.Fatalf("encoded %d bytes, want %d", len(body), 8*len(src))
+	}
+	gs, gd, err := DecodeEdges(ContentTypeBinary, bytes.NewReader(body), len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if gs[i] != src[i] || gd[i] != dst[i] {
+			t.Fatalf("edge %d: got (%d,%d) want (%d,%d)", i, gs[i], gd[i], src[i], dst[i])
+		}
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	if _, _, err := DecodeEdges(ContentTypeBinary, bytes.NewReader(make([]byte, 12)), 100); err == nil {
+		t.Fatal("want error for body not a multiple of 8 bytes")
+	}
+}
+
+func TestNDJSONForms(t *testing.T) {
+	in := strings.Join([]string{
+		"[1,2]",
+		"  [ 3 , 4 ]  ",
+		`{"src":5,"dst":6}`,
+		"",
+		"[4294967295,0]",
+	}, "\n")
+	src, dst, err := DecodeEdges(ContentTypeNDJSON, strings.NewReader(in), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS := []uint32{1, 3, 5, 4294967295}
+	wantD := []uint32{2, 4, 6, 0}
+	if len(src) != len(wantS) {
+		t.Fatalf("got %d edges, want %d", len(src), len(wantS))
+	}
+	for i := range wantS {
+		if src[i] != wantS[i] || dst[i] != wantD[i] {
+			t.Fatalf("edge %d: got (%d,%d) want (%d,%d)", i, src[i], dst[i], wantS[i], wantD[i])
+		}
+	}
+	// The default (no Content-Type) is NDJSON too, as is curl's --data
+	// default.
+	for _, ct := range []string{"", "application/x-www-form-urlencoded"} {
+		if _, _, err := DecodeEdges(ct, strings.NewReader("[1,2]"), 10); err != nil {
+			t.Fatalf("content type %q: %v", ct, err)
+		}
+	}
+}
+
+func TestNDJSONErrors(t *testing.T) {
+	for _, bad := range []string{
+		"[1]",
+		"[1,2,3x]",
+		"[4294967296,0]", // overflows uint32
+		"{\"src\":1}extra",
+		"nonsense",
+	} {
+		if _, _, err := DecodeEdges(ContentTypeNDJSON, strings.NewReader(bad), 10); err == nil {
+			t.Errorf("want error for %q", bad)
+		}
+	}
+}
+
+func TestDecodeEdgesLimits(t *testing.T) {
+	if _, _, err := DecodeEdges(ContentTypeNDJSON, strings.NewReader("[1,2]\n[3,4]"), 1); err == nil {
+		t.Fatal("want error when batch exceeds maxEdges")
+	}
+	body := AppendBinaryEdges(nil, []uint32{1, 2}, []uint32{3, 4})
+	if _, _, err := DecodeEdges(ContentTypeBinary, bytes.NewReader(body), 1); err == nil {
+		t.Fatal("want error when binary batch exceeds maxEdges")
+	}
+	if _, _, err := DecodeEdges("application/protobuf", strings.NewReader(""), 1); err == nil {
+		t.Fatal("want error for unsupported content type")
+	}
+}

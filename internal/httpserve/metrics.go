@@ -1,0 +1,44 @@
+package httpserve
+
+import "lsgraph/internal/obs"
+
+// Request-level series, one obs.HTTPMetrics per logical route (label
+// cardinality stays fixed no matter how many graphs exist), plus the
+// front-end's own counters. Package-level like every other engine metric
+// family: multiple Server instances in one process (tests) share the
+// series, and registration happens exactly once.
+var (
+	obsRouteHealthz   = obs.NewHTTPMetrics("healthz")
+	obsRouteGraphs    = obs.NewHTTPMetrics("graphs")
+	obsRouteIngest    = obs.NewHTTPMetrics("ingest")
+	obsRouteFlush     = obs.NewHTTPMetrics("flush")
+	obsRouteDegree    = obs.NewHTTPMetrics("degree")
+	obsRouteNeighbors = obs.NewHTTPMetrics("neighbors")
+	obsRouteKhop      = obs.NewHTTPMetrics("khop")
+	obsRouteKernel    = obs.NewHTTPMetrics("kernel")
+
+	// obsGraphs tracks the number of registered named graphs.
+	obsGraphs = obs.NewGauge("lsgraph_http_graphs",
+		"", "named graphs currently registered")
+
+	// obsShedQueue counts ingest requests shed with 429 because the target
+	// store reported Saturated() (writer queues at their MaxQueue bound).
+	obsShedQueue = obs.NewCounter("lsgraph_http_shed",
+		obs.Label("reason", "queue"),
+		"requests shed with 429, by reason")
+	// obsShedKernel counts kernel requests shed with 429 because MaxKernels
+	// kernels were already running.
+	obsShedKernel = obs.NewCounter("lsgraph_http_shed",
+		obs.Label("reason", "kernels"),
+		"requests shed with 429, by reason")
+
+	// obsIngestEdges counts edges accepted for ingest (insert + delete)
+	// across all graphs; compare with the store's Stats.EdgesEnqueued to
+	// separate network-accepted from engine-enqueued.
+	obsIngestEdges = obs.NewCounter("lsgraph_http_ingest_edges",
+		"", "edges accepted by the ingest endpoint")
+	// obsIngestBatches counts accepted ingest requests (one request = one
+	// enqueued batch).
+	obsIngestBatches = obs.NewCounter("lsgraph_http_ingest_batches",
+		"", "ingest requests accepted (one enqueued batch each)")
+)

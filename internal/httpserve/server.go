@@ -1,0 +1,326 @@
+// Package httpserve is LSGraph's network serving front-end: the HTTP layer
+// command lsgraphd mounts over one or more lsgraph.Store instances. It
+// turns the in-process serving layer (internal/serve, PR 3/4) into a
+// multi-tenant network service:
+//
+//   - Named graphs. Each graph is an independent lsgraph.Store with its own
+//     shard count and queue bound, created explicitly (PUT /v1/graphs/{g})
+//     or on first ingest when auto-create is enabled.
+//   - Batched ingest. POST /v1/graphs/{g}/edges accepts NDJSON or packed
+//     binary edge batches (see codec.go) and enqueues them without waiting
+//     for the writers, mirroring Store.InsertBatch's asynchronous contract.
+//   - Snapshot-pinned reads. Query endpoints (degree, neighbors, k-hop) and
+//     kernel endpoints (BFS, PageRank, connected components) pin a
+//     StoreView, so every response is computed on one coherent epoch while
+//     ingest continues underneath.
+//   - Admission control. Ingest is shed with 429 + Retry-After as soon as
+//     the target store reports Saturated() — the same signal at which the
+//     writer queues would start coalescing — and kernels are bounded by a
+//     server-wide concurrency cap. See admission.go.
+//   - Lifecycle. Close drains every writer queue (Store.Close applies all
+//     queued batches before returning), after which data endpoints answer
+//     503; /healthz flips to draining first so load balancers stop routing.
+//
+// The package is HTTP-framework-free (net/http + the Go 1.22 ServeMux
+// patterns only) and wires the existing obs and trace layers in unchanged:
+// Handler mounts /metrics, /metrics.json, /debug/pprof/* and /debug/trace
+// alongside the data plane.
+package httpserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lsgraph"
+	"lsgraph/internal/obs"
+)
+
+// Config tunes a Server. The zero value is usable: every field falls back
+// to the documented default.
+type Config struct {
+	// DefaultVertices is the initial vertex-slot count for graphs created
+	// without an explicit size (default 1024). Stores auto-grow, so this
+	// is a pre-allocation hint, not a limit.
+	DefaultVertices uint32
+	// DefaultShards is the shard-writer count for graphs created without
+	// an explicit one (default 1).
+	DefaultShards int
+	// DefaultMaxQueue is the per-shard queue bound (in batches) for graphs
+	// created without an explicit one (default 64; see
+	// lsgraph.WithMaxQueue).
+	DefaultMaxQueue int
+	// AutoCreate makes POST /v1/graphs/{g}/edges create a missing graph
+	// with the defaults above instead of returning 404.
+	AutoCreate bool
+	// MaxKernels caps concurrently running kernel requests server-wide
+	// (default 4). Kernels beyond the cap are shed with 429.
+	MaxKernels int
+	// MaxBodyBytes caps an ingest request body (default 64 MiB). Larger
+	// bodies are rejected with 413.
+	MaxBodyBytes int64
+	// MaxNeighbors caps the neighbor list returned by the neighbors
+	// endpoint when the request gives no ?limit (default 65536).
+	MaxNeighbors int
+	// RetryAfterSeconds is the Retry-After hint attached to 429 responses
+	// (default 1).
+	RetryAfterSeconds int
+}
+
+func (c *Config) sanitize() {
+	if c.DefaultVertices == 0 {
+		c.DefaultVertices = 1024
+	}
+	if c.DefaultShards <= 0 {
+		c.DefaultShards = 1
+	}
+	if c.DefaultMaxQueue <= 0 {
+		c.DefaultMaxQueue = 64
+	}
+	if c.MaxKernels <= 0 {
+		c.MaxKernels = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxNeighbors <= 0 {
+		c.MaxNeighbors = 1 << 16
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 1
+	}
+}
+
+// GraphConfig is the JSON body of PUT /v1/graphs/{name}: the per-graph
+// knobs a tenant may set at creation time. Zero fields take the server
+// defaults.
+type GraphConfig struct {
+	// Vertices is the initial vertex-slot count; the store grows past it
+	// automatically when a batch references a larger ID.
+	Vertices uint32 `json:"vertices,omitempty"`
+	// Shards is the shard-writer count (lsgraph.WithShards).
+	Shards int `json:"shards,omitempty"`
+	// MaxQueue is the per-shard queue bound in batches
+	// (lsgraph.WithMaxQueue).
+	MaxQueue int `json:"max_queue,omitempty"`
+}
+
+// tenant is one named graph: its store plus the resolved config it was
+// created with (for idempotent re-creation checks and the stats endpoint).
+type tenant struct {
+	name  string
+	store *lsgraph.Store
+	cfg   GraphConfig
+}
+
+// Server is the HTTP front-end state: the named-graph registry, the kernel
+// admission semaphore, and the drain flag. Build one with New, mount
+// Handler on an http.Server, and call Close on the way out.
+type Server struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	graphs map[string]*tenant
+
+	kernelSem chan struct{}
+	draining  atomic.Bool
+
+	// admitOverride, when non-nil, replaces the Store.Saturated admission
+	// probe. Tests use it to exercise the shed path deterministically.
+	admitOverride func(*lsgraph.Store) bool
+}
+
+// New returns a Server with no graphs. Graphs are added via the HTTP API
+// or CreateGraph.
+func New(cfg Config) *Server {
+	cfg.sanitize()
+	return &Server{
+		cfg:       cfg,
+		graphs:    make(map[string]*tenant),
+		kernelSem: make(chan struct{}, cfg.MaxKernels),
+	}
+}
+
+// graphNameRE constrains graph names to something that embeds safely in
+// URLs, metrics labels, and file names.
+var graphNameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
+
+// CreateGraph creates (or idempotently re-validates) the named graph and
+// returns its resolved config. created is false when the graph already
+// existed; an existing graph with a different resolved config is an error
+// (the HTTP layer maps it to 409). Safe for concurrent use.
+func (s *Server) CreateGraph(name string, gc GraphConfig) (resolved GraphConfig, created bool, err error) {
+	if !graphNameRE.MatchString(name) {
+		return GraphConfig{}, false, fmt.Errorf("invalid graph name %q (want %s)", name, graphNameRE)
+	}
+	if gc.Vertices == 0 {
+		gc.Vertices = s.cfg.DefaultVertices
+	}
+	if gc.Shards <= 0 {
+		gc.Shards = s.cfg.DefaultShards
+	}
+	if gc.MaxQueue <= 0 {
+		gc.MaxQueue = s.cfg.DefaultMaxQueue
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return GraphConfig{}, false, errDraining
+	}
+	if t, ok := s.graphs[name]; ok {
+		if t.cfg != gc {
+			return t.cfg, false, fmt.Errorf("graph %q exists with different config %+v", name, t.cfg)
+		}
+		return t.cfg, false, nil
+	}
+	t := &tenant{
+		name: name,
+		cfg:  gc,
+		store: lsgraph.NewStore(gc.Vertices,
+			lsgraph.WithShards(gc.Shards),
+			lsgraph.WithMaxQueue(gc.MaxQueue)),
+	}
+	s.graphs[name] = t
+	obsGraphs.Set(int64(len(s.graphs)))
+	return gc, true, nil
+}
+
+// errDraining marks requests rejected because the server is shutting down.
+var errDraining = fmt.Errorf("server is draining")
+
+// lookup returns the named tenant, auto-creating it when the config allows
+// and create is set.
+func (s *Server) lookup(name string, create bool) (*tenant, error) {
+	s.mu.RLock()
+	t := s.graphs[name]
+	s.mu.RUnlock()
+	if t != nil {
+		return t, nil
+	}
+	if create && s.cfg.AutoCreate {
+		if _, _, err := s.CreateGraph(name, GraphConfig{}); err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		t = s.graphs[name]
+		s.mu.RUnlock()
+		if t != nil {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("graph %q not found", name)
+}
+
+// store returns the named graph's Store, or nil. Tests use it for
+// differential checks against the oracle.
+func (s *Server) store(name string) *lsgraph.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t := s.graphs[name]; t != nil {
+		return t.store
+	}
+	return nil
+}
+
+// DropGraph closes and removes the named graph, draining its queued
+// batches first (Store.Close applies everything before returning). It
+// reports whether the graph existed.
+func (s *Server) DropGraph(name string) bool {
+	s.mu.Lock()
+	t, ok := s.graphs[name]
+	delete(s.graphs, name)
+	obsGraphs.Set(int64(len(s.graphs)))
+	s.mu.Unlock()
+	if ok {
+		t.store.Close()
+	}
+	return ok
+}
+
+// GraphNames returns the registered graph names, sorted.
+func (s *Server) GraphNames() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.graphs))
+	for n := range s.graphs {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Draining reports whether Close has begun: data endpoints answer 503 and
+// /healthz fails, so load balancers stop routing here.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains and closes every graph: it flips the server to draining
+// (new writes are rejected with 503), then closes each store, which
+// applies and publishes all queued batches before returning — no accepted
+// batch is lost. Call it after http.Server.Shutdown has stopped new
+// connections; in-flight reads on already-pinned views finish normally.
+// Closing twice is a no-op.
+func (s *Server) Close() {
+	if s.draining.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	ts := make([]*tenant, 0, len(s.graphs))
+	for _, t := range s.graphs {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	for _, t := range ts {
+		t.store.Close()
+	}
+}
+
+// Handler returns the server's full route table: the /v1 data plane, the
+// health endpoint, and the observability surface (/metrics, /metrics.json,
+// /debug/pprof/*, /debug/trace) from the obs registry. Every data route is
+// wrapped with request-level metrics (lsgraph_http_*); recording follows
+// obs.Enabled like every other series.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern string, m *obs.HTTPMetrics, h http.HandlerFunc) {
+		mux.Handle(pattern, m.Wrap(h))
+	}
+	route("GET /healthz", obsRouteHealthz, s.handleHealthz)
+	route("GET /v1/graphs", obsRouteGraphs, s.handleListGraphs)
+	route("PUT /v1/graphs/{graph}", obsRouteGraphs, s.handleCreateGraph)
+	route("GET /v1/graphs/{graph}", obsRouteGraphs, s.handleGraphStats)
+	route("DELETE /v1/graphs/{graph}", obsRouteGraphs, s.handleDropGraph)
+	route("POST /v1/graphs/{graph}/edges", obsRouteIngest, s.handleIngest)
+	route("POST /v1/graphs/{graph}/flush", obsRouteFlush, s.handleFlush)
+	route("GET /v1/graphs/{graph}/vertices/{vertex}/degree", obsRouteDegree, s.handleDegree)
+	route("GET /v1/graphs/{graph}/vertices/{vertex}/neighbors", obsRouteNeighbors, s.handleNeighbors)
+	route("GET /v1/graphs/{graph}/khop", obsRouteKhop, s.handleKhop)
+	route("POST /v1/graphs/{graph}/kernels/{kernel}", obsRouteKernel, s.handleKernel)
+
+	oh := obs.Handler(obs.Default)
+	mux.Handle("/metrics", oh)
+	mux.Handle("/metrics.json", oh)
+	mux.Handle("/debug/", oh)
+	return mux
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// apiError is the uniform error body: {"error": "..."}.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeError writes the uniform JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}

@@ -802,6 +802,51 @@ func (s *Store) NeighborBlocks(v uint32, yield func(block []uint32) bool) {
 	w.release(e)
 }
 
+// QueueDepth returns the number of update batches currently queued across
+// all shard queues, including Flush sentinels. It is a point-in-time read
+// of an always-on atomic counter (no locks, safe from any goroutine); the
+// value can change before the caller acts on it.
+func (s *Store) QueueDepth() int { return int(s.queued.Load()) }
+
+// MaxQueue returns the per-shard soft queue bound (Options.MaxQueue after
+// defaulting): once a shard's queue holds this many batches, further
+// same-op enqueues coalesce into the newest entry instead of growing the
+// queue. Constant for the Store's lifetime.
+func (s *Store) MaxQueue() int { return s.opt.MaxQueue }
+
+// Saturated reports whether any shard's queue has reached the MaxQueue
+// bound — the point where the next same-op enqueue would coalesce rather
+// than queue. This is the engine's backpressure signal: admission
+// controllers in front of the Store (the HTTP front-end) shed ingest load
+// when it is true instead of letting coalescing grow unbounded merged
+// batches. It briefly takes each shard's queue lock, so it is safe from
+// any goroutine but intended for per-request cadence, not per-edge.
+func (s *Store) Saturated() bool {
+	for _, w := range s.ws {
+		w.mu.Lock()
+		n := len(w.queue)
+		w.mu.Unlock()
+		if n >= s.opt.MaxQueue {
+			return true
+		}
+	}
+	return false
+}
+
+// QueueDepths appends each shard's current queue depth (in batches,
+// including Flush sentinels) to dst and returns it, one entry per shard in
+// shard order. Each depth is read under that shard's queue lock, but the
+// vector as a whole is not one atomic cut across shards.
+func (s *Store) QueueDepths(dst []int) []int {
+	for _, w := range s.ws {
+		w.mu.Lock()
+		n := len(w.queue)
+		w.mu.Unlock()
+		dst = append(dst, n)
+	}
+	return dst
+}
+
 // Stats is a point-in-time copy of the Store's always-on counters. These
 // are maintained with plain atomics independently of the obs registry, so
 // benchmarks and tests can read them without enabling metric collection.

@@ -91,28 +91,36 @@ var (
 	_ BlockReader = (*core.Snapshot)(nil)
 )
 
+// settings collects everything the constructors configure: the engine's
+// core.Config plus the serving-layer queue bounds a Store needs. Graph
+// constructors ignore the serving fields.
+type settings struct {
+	cfg      core.Config
+	maxQueue int
+}
+
 // Option configures a Graph or Store at construction; see WithAlpha,
-// WithM, and WithWorkers.
-type Option func(*core.Config)
+// WithM, WithWorkers, WithShards, and WithMaxQueue.
+type Option func(*settings)
 
 // WithAlpha sets the space amplification factor α (default 1.2): gapped
 // structures reserve α× their element count, trading memory and scan cost
 // for cheaper inserts (§6.5, Figures 14-15).
 func WithAlpha(alpha float64) Option {
-	return func(c *core.Config) { c.Alpha = alpha }
+	return func(s *settings) { s.cfg.Alpha = alpha }
 }
 
 // WithM sets the RIA→HITree degree threshold M (default 4096; §6.5):
 // vertices whose overflow exceeds M neighbors are promoted from the
 // Redundant Indexed Array to the Hybrid Indexed Tree.
 func WithM(m int) Option {
-	return func(c *core.Config) { c.M = m }
+	return func(s *settings) { s.cfg.M = m }
 }
 
 // WithWorkers bounds the parallelism of batch updates and snapshot
 // flattening (default GOMAXPROCS).
 func WithWorkers(w int) Option {
-	return func(c *core.Config) { c.Workers = w }
+	return func(s *settings) { s.cfg.Workers = w }
 }
 
 // WithShards partitions the vertex space into s contiguous shards
@@ -123,7 +131,18 @@ func WithWorkers(w int) Option {
 // snapshots — the knob that scales concurrent ingest. With s == 1
 // behavior is identical to an unsharded engine.
 func WithShards(s int) Option {
-	return func(c *core.Config) { c.Shards = s }
+	return func(st *settings) { st.cfg.Shards = s }
+}
+
+// WithMaxQueue sets a Store's per-shard update-queue bound in batches
+// (default 64). Once a shard's queue holds this many pending batches,
+// further same-op enqueues merge into the newest queued batch instead of
+// growing the queue — callers are never blocked — and Store.Saturated
+// reports true so front-ends can shed ingest load. Smaller values bound
+// memory and visibility lag more tightly at the cost of earlier
+// backpressure. Ignored by Graph constructors, which have no queue.
+func WithMaxQueue(n int) Option {
+	return func(s *settings) { s.maxQueue = n }
 }
 
 // Graph is the LSGraph engine in the paper's phase-alternating streaming
@@ -137,11 +156,11 @@ type Graph struct {
 
 // New returns an empty graph with n vertex slots.
 func New(n uint32, opts ...Option) *Graph {
-	var cfg core.Config
+	var s settings
 	for _, o := range opts {
-		o(&cfg)
+		o(&s)
 	}
-	return &Graph{g: core.New(n, cfg)}
+	return &Graph{g: core.New(n, s.cfg)}
 }
 
 // NewFromEdges returns a graph with n vertex slots preloaded with es via

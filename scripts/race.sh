@@ -18,4 +18,5 @@ go test -race "$@" \
 	lsgraph/internal/trace \
 	lsgraph/internal/check \
 	lsgraph/internal/algo \
+	lsgraph/internal/httpserve \
 	lsgraph

@@ -21,6 +21,9 @@ go vet ./...
 echo "== go build"
 go build ./...
 
+echo "== godoc presence (every exported identifier documented)"
+go run ./cmd/doccheck . internal/*
+
 echo "== go test (-shuffle=on)"
 go test -shuffle=on ./...
 

@@ -37,11 +37,11 @@ type Store struct {
 // starts its writer goroutine. It accepts the same options as New. The
 // store's epoch 0 (the empty graph) is readable immediately.
 func NewStore(n uint32, opts ...Option) *Store {
-	var cfg core.Config
+	var s settings
 	for _, o := range opts {
-		o(&cfg)
+		o(&s)
 	}
-	return &Store{st: serve.New(core.New(n, cfg), serve.Options{})}
+	return &Store{st: serve.New(core.New(n, s.cfg), serve.Options{MaxQueue: s.maxQueue})}
 }
 
 // InsertEdges enqueues a batch of edge insertions and returns immediately;
@@ -121,6 +121,24 @@ func (s *Store) ForEachNeighbor(v uint32, f func(u uint32)) {
 func (s *Store) NeighborBlocks(v uint32, yield func(block []uint32) bool) {
 	s.st.NeighborBlocks(v, yield)
 }
+
+// QueueDepth returns the number of update batches currently queued across
+// all shard writer queues (including Flush sentinels): the store's
+// backpressure signal in batches. Lock-free and safe from any goroutine;
+// the value may change before the caller acts on it.
+func (s *Store) QueueDepth() int { return s.st.QueueDepth() }
+
+// MaxQueue returns the per-shard queue bound this store was built with
+// (WithMaxQueue; default 64). Constant for the store's lifetime.
+func (s *Store) MaxQueue() int { return s.st.MaxQueue() }
+
+// Saturated reports whether any shard's update queue has reached the
+// MaxQueue bound, the point where further same-op updates coalesce into
+// already-queued batches instead of queueing independently. Front-ends use
+// it as the admission-control shed signal (respond 429 instead of
+// enqueueing). Safe from any goroutine; it briefly takes each shard's
+// queue lock, so call it per request, not per edge.
+func (s *Store) Saturated() bool { return s.st.Saturated() }
 
 // StoreStats is a point-in-time copy of a Store's always-on counters; see
 // the field docs in internal/serve. The same signals are exported through
