@@ -66,7 +66,7 @@ bench-analytics:
 # `make loadtest LOADTEST_TIME=30s LOADTEST_RATE=1000`.
 export LOADTEST_TIME LOADTEST_RATE LOADTEST_MIX LOADTEST_SHARDS LOADTEST_ADDR
 loadtest:
-	sh scripts/loadtest.sh pr8
+	sh scripts/loadtest.sh pr9
 
 clean:
 	$(GO) clean ./...

@@ -24,6 +24,7 @@
 //	GET  /v1/graphs/{g}/vertices/{v}/neighbors  adjacency scan
 //	GET  /v1/graphs/{g}/khop?src=V&depth=K      bounded traversal
 //	POST /v1/graphs/{g}/kernels/{bfs|pagerank|cc}  analytics on a pinned view
+//	POST /v1/graphs/{g}/rebalance               reshard toward equal edge mass
 //	GET  /metrics, /metrics.json                Prometheus / JSON metrics
 //	GET  /debug/pprof/*, /debug/trace{,/autopsy}   profiling and flight recorder
 //
@@ -62,6 +63,7 @@ func main() {
 		auto     = flag.Bool("autocreate", true, "create a missing graph on first ingest instead of 404")
 		kernels  = flag.Int("kernels", 4, "max concurrently running kernel requests (excess shed with 429)")
 		maxBody  = flag.Int64("maxbody", 64<<20, "max ingest request body in bytes (larger rejected with 413)")
+		autoReb  = flag.Float64("autorebalance", 0, "auto-rebalance skew threshold for created graphs (e.g. 1.5 = act at 50% over fair share; 0 disables)")
 		obsOn    = flag.Bool("obs", true, "enable metric collection (serves /metrics either way)")
 		traceO   = flag.String("trace", "", "record the flight recorder and write Chrome trace-event JSON here on exit")
 		traceMd  = flag.String("tracemode", "all", "flight-recorder sampling policy: all | sample=N | tail")
@@ -90,6 +92,8 @@ func main() {
 		AutoCreate:      *auto,
 		MaxKernels:      *kernels,
 		MaxBodyBytes:    *maxBody,
+
+		DefaultAutoRebalance: *autoReb,
 	})
 	for _, spec := range strings.Split(*graphs, ",") {
 		if spec = strings.TrimSpace(spec); spec == "" {

@@ -22,6 +22,9 @@
 //	T3 analytics      50% degree, 35% k-hop, 15% BFS kernel
 //	T4 write-heavy    90% edge-batch writes, 10% degree
 //	T5 mixed          45% degree, 25% scan, 20% write, 9% k-hop, 1% kernel
+//	T6 skewed-write   90% writes with Zipf-skewed sources, 10% degree —
+//	                  hammers one shard of a range-partitioned graph, the
+//	                  workload the store's rebalancer exists to absorb
 //
 // The report is written as bench.sh-compatible JSON ({tag, unit,
 // benchmarks}) so `make loadtest` lands in the same BENCH_<tag>.json
@@ -44,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"lsgraph/internal/gen"
 	"lsgraph/internal/httpserve"
 )
 
@@ -61,19 +65,24 @@ const (
 
 var opNames = [numOps]string{"point", "scan", "khop", "kernel", "write"}
 
-// mix is one workload: per-op weights summing to 100.
+// mix is one workload: per-op weights summing to 100. skewedWrites
+// switches write bodies from uniform sources to the seeded power-law
+// generator (internal/gen.Zipf), concentrating write load on the hub
+// shard of a range-partitioned graph.
 type mix struct {
-	name    string
-	desc    string
-	weights [numOps]int
+	name         string
+	desc         string
+	weights      [numOps]int
+	skewedWrites bool
 }
 
 var mixes = []mix{
-	{"T1", "point lookup", [numOps]int{opPoint: 100}},
-	{"T2", "neighbor scan", [numOps]int{opPoint: 10, opScan: 90}},
-	{"T3", "analytics", [numOps]int{opPoint: 50, opKhop: 35, opKernel: 15}},
-	{"T4", "write-heavy", [numOps]int{opPoint: 10, opWrite: 90}},
-	{"T5", "mixed", [numOps]int{opPoint: 45, opScan: 25, opKhop: 9, opKernel: 1, opWrite: 20}},
+	{name: "T1", desc: "point lookup", weights: [numOps]int{opPoint: 100}},
+	{name: "T2", desc: "neighbor scan", weights: [numOps]int{opPoint: 10, opScan: 90}},
+	{name: "T3", desc: "analytics", weights: [numOps]int{opPoint: 50, opKhop: 35, opKernel: 15}},
+	{name: "T4", desc: "write-heavy", weights: [numOps]int{opPoint: 10, opWrite: 90}},
+	{name: "T5", desc: "mixed", weights: [numOps]int{opPoint: 45, opScan: 25, opKhop: 9, opKernel: 1, opWrite: 20}},
+	{name: "T6", desc: "skewed-write", weights: [numOps]int{opPoint: 10, opWrite: 90}, skewedWrites: true},
 }
 
 // result classifies one finished request.
@@ -134,7 +143,7 @@ func main() {
 		graph    = flag.String("graph", "load", "graph name to drive")
 		shards   = flag.Int("shards", 1, "shard count when creating the graph")
 		queueLen = flag.Int("queue", 64, "per-shard queue bound when creating the graph")
-		mixFlag  = flag.String("mix", "T1,T4,T5", "comma-separated mix names (T1..T5) or 'all'")
+		mixFlag  = flag.String("mix", "T1,T4,T5", "comma-separated mix names (T1..T6; T6 is the Zipf-skewed write mix) or 'all'")
 		rate     = flag.Float64("rate", 300, "offered load in requests/second (Poisson arrivals)")
 		duration = flag.Duration("duration", 10*time.Second, "measured run length per mix")
 		seed     = flag.Int64("seed", 1, "RNG seed (arrivals, op picks, and data are all derived from it)")
@@ -223,7 +232,7 @@ func selectMixes(s string) ([]mix, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("unknown mix %q (want T1..T5 or all)", name)
+			return nil, fmt.Errorf("unknown mix %q (want T1..T6 or all)", name)
 		}
 	}
 	if len(sel) == 0 {
@@ -363,6 +372,10 @@ func (h *harness) runMix(m mix, rate float64, duration time.Duration, seed int64
 	opRng := rand.New(rand.NewSource(seed*7700003 + 17))
 	dataRng := rand.New(rand.NewSource(seed*31 + 7))
 	zipf := rand.NewZipf(rand.New(rand.NewSource(seed*131+int64(3))), 1.2, 8, uint64(h.vertices-1))
+	var writeZipf *gen.Zipf
+	if m.skewedWrites {
+		writeZipf = gen.NewZipf(h.vertices, 1.2, uint64(seed)*0x9e3779b97f4a7c15+6)
+	}
 	var dataMu sync.Mutex
 	pickVertex := func() uint32 {
 		dataMu.Lock()
@@ -395,11 +408,15 @@ func (h *harness) runMix(m mix, rate float64, duration time.Duration, seed int64
 			// Bodies are built on the generator goroutine from the seeded
 			// stream, so request goroutines never share the RNG.
 			dataMu.Lock()
-			src = make([]uint32, h.batch)
-			dst = make([]uint32, h.batch)
-			for i := range src {
-				src[i] = dataRng.Uint32() % h.vertices
-				dst[i] = dataRng.Uint32() % h.vertices
+			if writeZipf != nil {
+				src, dst = writeZipf.Batch(h.batch)
+			} else {
+				src = make([]uint32, h.batch)
+				dst = make([]uint32, h.batch)
+				for i := range src {
+					src[i] = dataRng.Uint32() % h.vertices
+					dst[i] = dataRng.Uint32() % h.vertices
+				}
 			}
 			dataMu.Unlock()
 		}

@@ -100,7 +100,7 @@ var Experiments = []string{
 	"fig3", "fig4", "fig12", "deletions", "smallbatch", "ablation",
 	"fig13", "table2", "table3", "fig14", "fig15", "fig16", "fig17",
 	"streaming", "graph500", "kcore", "sortledton", "prepare", "mixed",
-	"sharded", "trace",
+	"sharded", "rebalance", "trace",
 }
 
 // Run executes one named experiment at the given scale, writing its report
@@ -147,6 +147,8 @@ func Run(name string, s Scale, w io.Writer) error {
 		Mixed(s, w)
 	case "sharded":
 		Sharded(s, w)
+	case "rebalance":
+		Rebalance(s, w)
 	case "trace":
 		TraceDemo(s, w)
 	default:

@@ -33,15 +33,21 @@ func RIA(r *ria.RIA) error { return r.CheckInvariants() }
 func HITree(t *hitree.Tree) error { return t.CheckInvariants() }
 
 // Shards validates g's shard partitioning from both sides: the public
-// routing surface (bases at span multiples, ShardOf/Base round trips,
-// per-shard edge counts summing to the total) and the deep per-vertex
-// walk of core.Graph.CheckInvariants (inline ordering, overflow policy
-// and structure invariants, degree and counter consistency). Like reads,
-// it must not run concurrently with updates.
+// routing surface (shard bases matching the live partition map's range
+// starts, ShardOf/Base round trips, per-shard edge counts summing to the
+// total) and the deep per-vertex walk of core.Graph.CheckInvariants
+// (inline ordering, overflow policy and structure invariants, degree and
+// counter consistency). Boundaries are map-derived, not span multiples —
+// a rebalanced graph must pass identically. Like reads, it must not run
+// concurrently with updates.
 func Shards(g *core.Graph) error {
 	S := g.NumShards()
 	if S < 1 {
 		return fmt.Errorf("check: graph has %d shards", S)
+	}
+	pm := g.PartitionMap()
+	if err := pm.CheckInvariants(S); err != nil {
+		return fmt.Errorf("check: %w", err)
 	}
 	if b := g.Shard(0).Base(); b != 0 {
 		return fmt.Errorf("check: shard 0 base %d != 0", b)
@@ -49,6 +55,9 @@ func Shards(g *core.Graph) error {
 	var edges uint64
 	for i := 0; i < S; i++ {
 		sh := g.Shard(i)
+		if sh.Base() != pm.Starts[i] {
+			return fmt.Errorf("check: shard %d base %d != map start %d", i, sh.Base(), pm.Starts[i])
+		}
 		if i > 0 && sh.Base() <= g.Shard(i-1).Base() {
 			return fmt.Errorf("check: shard %d base %d not above shard %d base %d",
 				i, sh.Base(), i-1, g.Shard(i-1).Base())

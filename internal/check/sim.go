@@ -72,12 +72,13 @@ const simMaxBatch = 40
 type opKind uint8
 
 const (
-	opInsert opKind = iota // apply an insert batch (dups and re-inserts included)
-	opDelete               // apply a delete batch (absent edges included)
-	opGrow                 // grow the vertex space explicitly
-	opVerify               // full lockstep comparison against the oracle
-	opKernel               // run one analytics kernel on engine and oracle
-	opView                 // pin a view/snapshot mid-stream and validate it
+	opInsert    opKind = iota // apply an insert batch (dups and re-inserts included)
+	opDelete                  // apply a delete batch (absent edges included)
+	opGrow                    // grow the vertex space explicitly
+	opVerify                  // full lockstep comparison against the oracle
+	opKernel                  // run one analytics kernel on engine and oracle
+	opView                    // pin a view/snapshot mid-stream and validate it
+	opRebalance               // move a partition boundary, then fully verify
 )
 
 func (k opKind) String() string {
@@ -92,6 +93,8 @@ func (k opKind) String() string {
 		return "verify"
 	case opKernel:
 		return "kernel"
+	case opRebalance:
+		return "rebalance"
 	default:
 		return "view"
 	}
@@ -105,7 +108,7 @@ type op struct {
 }
 
 // decodeProgram turns an arbitrary byte string into an op sequence. Every
-// byte string is a valid program (fuzzing needs totality): the eight
+// byte string is a valid program (fuzzing needs totality): the ten
 // op-kind selectors weight inserts 3x and deletes 2x, batches read one
 // count byte plus two bytes per edge, and truncated records are clipped
 // to the bytes available. The same decoder serves the seeded simulator,
@@ -113,16 +116,16 @@ type op struct {
 func decodeProgram(data []byte) []op {
 	var ops []op
 	for len(data) > 0 {
-		k := data[0] % 9
+		k := data[0] % 10
 		data = data[1:]
 		switch {
-		case k <= 2: // inserts get 3/9 weight
+		case k <= 2: // inserts get 3/10 weight
 			var o op
 			o, data = decodeBatch(opInsert, data)
 			if len(o.src) > 0 {
 				ops = append(ops, o)
 			}
-		case k <= 4: // deletes 2/9
+		case k <= 4: // deletes 2/10
 			var o op
 			o, data = decodeBatch(opDelete, data)
 			if len(o.src) > 0 {
@@ -142,8 +145,14 @@ func decodeProgram(data []byte) []op {
 			}
 			ops = append(ops, op{kind: opGrow, sel: data[0]})
 			data = data[1:]
-		default:
+		case k == 8:
 			ops = append(ops, op{kind: opView})
+		default:
+			if len(data) == 0 {
+				return ops
+			}
+			ops = append(ops, op{kind: opRebalance, sel: data[0]})
+			data = data[1:]
 		}
 	}
 	return ops
@@ -192,6 +201,8 @@ func encodeOps(ops []op) []byte {
 			out = append(out, 7, o.sel)
 		case opView:
 			out = append(out, 8)
+		case opRebalance:
+			out = append(out, 9, o.sel)
 		}
 	}
 	return out
@@ -262,9 +273,53 @@ func (r *runner) step(o op) error {
 		return r.verify()
 	case opKernel:
 		return r.kernel(o.sel)
+	case opRebalance:
+		return r.rebalance(o.sel)
 	default:
 		return r.view()
 	}
+}
+
+// rebalance derives a legal boundary move from the selector byte (which
+// boundary, and where in its legal window the new start lands), executes
+// it through the mode's surface, and immediately re-verifies the full
+// graph against the oracle — splices must be invisible to every read
+// surface. Selectors with no legal move (single shard, or adjacent
+// boundaries with no room) and moves the engine rejects as no-ops
+// (core.ErrNoMove) decode to nothing.
+func (r *runner) rebalance(sel byte) error {
+	S := r.cfg.Shards
+	if S < 2 {
+		return nil
+	}
+	pm := r.g.PartitionMap()
+	n := r.g.NumVertices()
+	k := int(sel) % (S - 1)
+	// Legal new starts for boundary k keep every shard non-empty:
+	// (Starts[k], next) exclusive, where next is the following boundary.
+	lo := pm.Starts[k] + 1
+	hi := n
+	if k+2 < S {
+		hi = pm.Starts[k+2]
+	}
+	if hi <= lo {
+		return nil
+	}
+	h := uint32(sel) * 0x9E3779B1 // decorrelate the cut from the boundary choice
+	cut := lo + (h>>8)%(hi-lo)
+	var err error
+	if r.cfg.Mode == ModeStore {
+		_, _, err = r.st.MoveBoundary(k, cut)
+	} else {
+		_, _, err = r.g.MoveBoundary(k, cut)
+	}
+	if err == core.ErrNoMove {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("MoveBoundary(%d, %d): %w", k, cut, err)
+	}
+	return r.verify()
 }
 
 // batchBound returns 1 + the largest ID the batch references.

@@ -3,6 +3,7 @@ package check
 import (
 	"encoding/base64"
 	"fmt"
+	"math/rand"
 	"os"
 	"regexp"
 	"strconv"
@@ -34,6 +35,47 @@ func TestSimSeeds(t *testing.T) {
 							t.Fatal(err)
 						}
 					})
+				}
+			})
+		}
+	}
+}
+
+// TestSimRebalanceHeavy drives rebalance-dense differential workloads:
+// roughly a third of all ops are boundary moves, interleaved with skewed
+// inserts, deletes, kernels, and mid-stream views, across S∈{2,4,8} in
+// both modes. Every rebalance op is itself followed by a full oracle
+// comparison, so a splice that corrupts, drops, or duplicates a single
+// edge fails at the move that caused it.
+func TestSimRebalanceHeavy(t *testing.T) {
+	// Op-kind byte weights: insert 3x, delete 2x, rebalance 3x, one
+	// kernel and one view slot (see decodeProgram's selector table).
+	kinds := []byte{0, 0, 0, 3, 3, 9, 9, 9, 6, 8}
+	for _, mode := range []Mode{ModeCore, ModeStore} {
+		for _, S := range []int{2, 4, 8} {
+			mode, S := mode, S
+			t.Run(fmt.Sprintf("%s/shards=%d", mode, S), func(t *testing.T) {
+				t.Parallel()
+				for seed := int64(0); seed < 8; seed++ {
+					rng := rand.New(rand.NewSource(3000 + seed))
+					var data []byte
+					for i := 0; i < 60; i++ {
+						k := kinds[rng.Intn(len(kinds))]
+						data = append(data, k)
+						switch k {
+						case 0, 3: // batch: count byte + (src,dst) pairs
+							cnt := 1 + rng.Intn(12)
+							data = append(data, byte(cnt-1))
+							for e := 0; e < cnt; e++ {
+								data = append(data, byte(rng.Intn(256)), byte(rng.Intn(256)))
+							}
+						case 6, 9: // selector byte
+							data = append(data, byte(rng.Intn(256)))
+						}
+					}
+					if err := RunBytes(data, SimConfig{Shards: S, Mode: mode}); err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
 				}
 			})
 		}

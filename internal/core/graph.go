@@ -30,12 +30,14 @@ type Stats struct {
 // Shard handle (shard.go) exposes that per-shard update/snapshot surface;
 // internal/serve builds its per-shard writer pipeline on it.
 type Graph struct {
-	// shards partitions the vertex space: shard i owns the contiguous
-	// range [i*span, (i+1)*span), the last shard open-ended. span is fixed
-	// at construction so routing never changes as the vertex space grows;
-	// growth therefore always lands in the last shard's range.
+	// shards partitions the vertex space into contiguous ranges described
+	// by pmap: shard i owns [pmap.Starts[i], pmap.Starts[i+1]), the last
+	// shard open-ended, so growth always lands in the last shard's range.
 	shards []shardState
-	span   uint32
+	// pmap is the current routing map (immutable, swapped whole on
+	// MoveBoundary — see PartitionMap). Loads are cheap enough for hot
+	// routing paths; bulk paths hoist one load per batch.
+	pmap atomic.Pointer[PartitionMap]
 	// n is the logical vertex-space bound: IDs are valid in [0, n). It is
 	// atomic because concurrent shard writers raise it via EnsureVertices
 	// while others validate batches against it.
@@ -58,38 +60,17 @@ func New(n uint32, cfg Config) *Graph {
 		DisableModel: cfg.DisableModel,
 	}
 	s := cfg.Shards
-	span := n
-	if s > 1 {
-		span = (n + uint32(s) - 1) / uint32(s)
-	}
-	if span == 0 {
-		span = 1
-	}
-	g.span = span
+	pm := NewUniformMap(n, s)
+	g.pmap.Store(pm)
 	g.n.Store(n)
 	g.shards = make([]shardState, s)
 	for i := range g.shards {
-		base := uint32(i) * span
-		g.shards[i].base = base
+		g.shards[i].base = pm.Starts[i]
 		g.shards[i].idx = int32(i)
-		g.shards[i].verts = make([]vertex, shardSliceLen(base, span, i == s-1, n))
+		g.shards[i].verts = make([]vertex, pm.RangeLen(i, n))
 	}
 	trace.EnsureShards(s)
 	return g
-}
-
-// shardSliceLen is the storage length of a shard based at base under the
-// logical bound n: the shard's slice of [0, n), capped at span except for
-// the open-ended last shard.
-func shardSliceLen(base, span uint32, last bool, n uint32) int {
-	if n <= base {
-		return 0
-	}
-	l := n - base
-	if !last && l > span {
-		l = span
-	}
-	return int(l)
 }
 
 // NewFromEdges builds an engine preloaded with es (directed, deduplicated
@@ -119,9 +100,9 @@ func (g *Graph) NumVertices() uint32 { return g.n.Load() }
 func (g *Graph) EnsureVertices(n uint32) {
 	g.raiseBound(n)
 	n = g.n.Load()
+	pm := g.pmap.Load()
 	for i := range g.shards {
-		sh := &g.shards[i]
-		sh.ensure(shardSliceLen(sh.base, g.span, i == len(g.shards)-1, n))
+		g.shards[i].ensure(pm.RangeLen(i, n))
 	}
 }
 
@@ -153,12 +134,9 @@ func (g *Graph) locate(v uint32) (*shardState, uint32) {
 	if len(g.shards) == 1 {
 		return &g.shards[0], v
 	}
-	i := int(v / g.span)
-	if i >= len(g.shards) {
-		i = len(g.shards) - 1
-	}
-	sh := &g.shards[i]
-	return sh, v - sh.base
+	pm := g.pmap.Load()
+	i := pm.ShardOf(v)
+	return &g.shards[i], v - pm.Starts[i]
 }
 
 // vb returns v's vertex block, or nil when v's slot is not materialized

@@ -15,9 +15,10 @@ import (
 // not run concurrently with updates.
 //
 // Checked:
-//   - shard partitioning: bases at exact span multiples, materialized
-//     storage never exceeding a shard's owned slice of [0, NumVertices),
-//     and locate/ShardOf agreeing for the boundary IDs of every shard,
+//   - the partition map: structurally valid (PartitionMap.CheckInvariants)
+//     with every shard's base equal to its map start, materialized storage
+//     never exceeding the shard's owned slice of [0, NumVertices), and
+//     locate/ShardOf agreeing for the boundary IDs of every shard,
 //   - vertex blocks: inline area strictly ascending, degree equal to
 //     inline + overflow size, the overflow present only when the inline
 //     area is full, and the inline maximum below the overflow minimum
@@ -29,13 +30,16 @@ import (
 //   - per-shard edge counters equal to the sum of their vertices' degrees.
 func (g *Graph) CheckInvariants() error {
 	n := g.n.Load()
-	last := len(g.shards) - 1
+	pm := g.pmap.Load()
+	if err := pm.CheckInvariants(len(g.shards)); err != nil {
+		return err
+	}
 	for i := range g.shards {
 		sh := &g.shards[i]
-		if want := uint32(i) * g.span; sh.base != want {
-			return fmt.Errorf("core: shard %d base %d != %d (span %d)", i, sh.base, want, g.span)
+		if want := pm.Starts[i]; sh.base != want {
+			return fmt.Errorf("core: shard %d base %d != map start %d (epoch %d)", i, sh.base, want, pm.Epoch)
 		}
-		if max := shardSliceLen(sh.base, g.span, i == last, n); len(sh.verts) > max {
+		if max := pm.RangeLen(i, n); len(sh.verts) > max {
 			return fmt.Errorf("core: shard %d materializes %d slots, owns at most %d of [0,%d)",
 				i, len(sh.verts), max, n)
 		}

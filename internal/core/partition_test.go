@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for test edges.
+type lcg uint64
+
+func (r *lcg) next() uint32 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint32(*r >> 33)
+}
+
+func TestPartitionMapShardOf(t *testing.T) {
+	for _, s := range []int{1, 2, 3, 4, 8} {
+		pm := NewUniformMap(100, s)
+		if err := pm.CheckInvariants(s); err != nil {
+			t.Fatalf("S=%d: %v", s, err)
+		}
+		for v := uint32(0); v < 120; v++ {
+			i := pm.ShardOf(v)
+			if i < 0 || i >= s {
+				t.Fatalf("S=%d: ShardOf(%d) = %d out of range", s, v, i)
+			}
+			if v < pm.Starts[i] {
+				t.Fatalf("S=%d: ShardOf(%d) = %d but start is %d", s, v, i, pm.Starts[i])
+			}
+			if i+1 < s && v >= pm.Starts[i+1] {
+				t.Fatalf("S=%d: ShardOf(%d) = %d but next start is %d", s, v, i, pm.Starts[i+1])
+			}
+		}
+	}
+}
+
+func TestMoveBoundaryDifferential(t *testing.T) {
+	const n = 200
+	r := lcg(7)
+	var src, dst []uint32
+	for i := 0; i < 3000; i++ {
+		src = append(src, r.next()%n)
+		dst = append(dst, r.next()%n)
+	}
+	g := NewFromEdges(n, src, dst, Config{Shards: 4, Workers: 2})
+	want := make(map[uint32][]uint32, n)
+	for v := uint32(0); v < n; v++ {
+		want[v] = g.AppendNeighbors(v, nil)
+	}
+	wantEdges := g.NumEdges()
+
+	check := func(step string) {
+		t.Helper()
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		if m := g.NumEdges(); m != wantEdges {
+			t.Fatalf("%s: NumEdges %d, want %d", step, m, wantEdges)
+		}
+		for v := uint32(0); v < n; v++ {
+			got := g.AppendNeighbors(v, nil)
+			if len(got) != len(want[v]) {
+				t.Fatalf("%s: vertex %d degree %d, want %d", step, v, len(got), len(want[v]))
+			}
+			for i := range got {
+				if got[i] != want[v][i] {
+					t.Fatalf("%s: vertex %d neighbors diverge at %d", step, v, i)
+				}
+			}
+		}
+	}
+
+	moves := []struct {
+		k        int
+		newStart uint32
+	}{
+		{0, 10},  // shrink shard 0 (boundary moves down)
+		{0, 90},  // grow shard 0 (boundary moves up past old spans)
+		{1, 95},  // nudge
+		{2, 140}, // shrink shard 2
+		{2, 199}, // nearly everything into shard 2
+		{0, 1},   // minimal shard 0
+		{1, 2},   // minimal shard 1
+		{2, 3},   // minimal shard 2 → shard 3 owns almost all
+		{2, 150}, // back toward uniform, rightmost boundary first
+		{1, 100}, //
+		{0, 50},  //
+	}
+	epoch := g.PartitionMap().Epoch
+	for _, mv := range moves {
+		if _, _, err := g.MoveBoundary(mv.k, mv.newStart); err != nil {
+			t.Fatalf("MoveBoundary(%d,%d): %v", mv.k, mv.newStart, err)
+		}
+		pm := g.PartitionMap()
+		if pm.Epoch != epoch+1 {
+			t.Fatalf("epoch %d after move, want %d", pm.Epoch, epoch+1)
+		}
+		epoch = pm.Epoch
+		check("after move")
+		// Updates must still work against the moved layout.
+		v, u := mv.newStart%n, (mv.newStart+7)%n
+		if !g.Has(v, u) {
+			g.InsertBatch([]uint32{v}, []uint32{u})
+			g.DeleteBatch([]uint32{v}, []uint32{u})
+		}
+		check("after churn")
+	}
+}
+
+func TestMoveBoundaryErrors(t *testing.T) {
+	g := New(100, Config{Shards: 4})
+	pm := g.PartitionMap()
+	if _, _, err := g.MoveBoundary(0, pm.Starts[1]); !errors.Is(err, ErrNoMove) {
+		t.Fatalf("no-op move: err = %v, want ErrNoMove", err)
+	}
+	if _, _, err := g.MoveBoundary(0, 0); err == nil {
+		t.Fatal("emptying shard 0 succeeded")
+	}
+	if _, _, err := g.MoveBoundary(0, pm.Starts[2]); err == nil {
+		t.Fatal("emptying shard 1 succeeded")
+	}
+	if _, _, err := g.MoveBoundary(3, 80); err == nil {
+		t.Fatal("out-of-range boundary succeeded")
+	}
+	if _, _, err := g.MoveBoundary(-1, 10); err == nil {
+		t.Fatal("negative boundary succeeded")
+	}
+	if g.PartitionMap().Epoch != 0 {
+		t.Fatalf("failed moves changed the map epoch to %d", g.PartitionMap().Epoch)
+	}
+}
+
+func TestMoveBoundaryLazyMaterialization(t *testing.T) {
+	// Exercise splices where parts of the transferred range are not
+	// materialized: grow the logical bound without materializing, then move
+	// boundaries across the unmaterialized tail.
+	g := New(40, Config{Shards: 4})
+	g.InsertBatch([]uint32{1, 12, 25, 38}, []uint32{2, 13, 26, 39})
+	g.ReserveVertices(400) // logical growth, storage untouched
+	if _, _, err := g.MoveBoundary(2, 350); err != nil {
+		t.Fatalf("move into unmaterialized range: %v", err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Degree(25); d != 1 {
+		t.Fatalf("Degree(25) = %d after move, want 1", d)
+	}
+	if _, _, err := g.MoveBoundary(2, 21); err != nil {
+		t.Fatalf("move back down: %v", err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint32{1, 12, 25, 38} {
+		if d := g.Degree(v); d != 1 {
+			t.Fatalf("Degree(%d) = %d, want 1", v, d)
+		}
+	}
+	if m := g.NumEdges(); m != 4 {
+		t.Fatalf("NumEdges = %d, want 4", m)
+	}
+}

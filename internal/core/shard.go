@@ -48,18 +48,11 @@ func (sh *shardState) subEdges(removed uint64) {
 // NumShards returns the number of vertex-range partitions (Config.Shards).
 func (g *Graph) NumShards() int { return len(g.shards) }
 
-// ShardOf returns the index of the shard owning vertex v. Routing is by
-// fixed span, so it never changes as the vertex space grows; IDs beyond
-// the last shard's initial range still belong to the last shard.
+// ShardOf returns the index of the shard owning vertex v under the
+// current partition map. The last shard's range is open-ended, so IDs
+// beyond the initial vertex space still belong to the last shard.
 func (g *Graph) ShardOf(v uint32) int {
-	if len(g.shards) == 1 {
-		return 0
-	}
-	i := int(v / g.span)
-	if i >= len(g.shards) {
-		i = len(g.shards) - 1
-	}
-	return i
+	return g.pmap.Load().ShardOf(v)
 }
 
 // shardWorkers returns the per-shard update parallelism: the graph's
@@ -112,8 +105,7 @@ func (s Shard) EnsureVertices(n uint32) {
 	g := s.g
 	g.raiseBound(n)
 	n = g.n.Load()
-	last := s.sh == &g.shards[len(g.shards)-1]
-	s.sh.ensure(shardSliceLen(s.sh.base, g.span, last, n))
+	s.sh.ensure(g.pmap.Load().RangeLen(int(s.sh.idx), n))
 }
 
 // InsertBatch adds the directed edges (src[i] -> dst[i]), all of whose
@@ -158,6 +150,15 @@ type SubBatch struct {
 // into a sibling part.
 // ScatterBatch does not validate IDs against the current vertex space.
 func (g *Graph) ScatterBatch(src, dst []uint32) (parts []SubBatch, bound uint32) {
+	return g.ScatterBatchWith(g.pmap.Load(), src, dst)
+}
+
+// ScatterBatchWith is ScatterBatch routing by an explicit partition map
+// instead of the graph's current one. The serving layer uses it to pin a
+// whole batch's routing to the map that was current when the batch
+// entered the queue, so a concurrent boundary move cannot split one
+// batch's routing across two maps.
+func (g *Graph) ScatterBatchWith(pm *PartitionMap, src, dst []uint32) (parts []SubBatch, bound uint32) {
 	validateBatch("ScatterBatch", src, dst)
 	S := len(g.shards)
 	parts = make([]SubBatch, S)
@@ -167,7 +168,7 @@ func (g *Graph) ScatterBatch(src, dst []uint32) (parts []SubBatch, bound uint32)
 	}
 	p := g.workers()
 	if n < parPrepMin || p <= 1 {
-		return g.scatterSeq(src, dst, parts)
+		return g.scatterSeq(pm, src, dst, parts)
 	}
 
 	// Pass 1: per-worker, per-shard counts over static ranges (cuts must
@@ -180,7 +181,7 @@ func (g *Graph) ScatterBatch(src, dst []uint32) (parts []SubBatch, bound uint32)
 		max := uint32(0)
 		for i := lo; i < hi; i++ {
 			s, d := src[i], dst[i]
-			c[g.ShardOf(s)]++
+			c[pm.ShardOf(s)]++
 			if s > max {
 				max = s
 			}
@@ -212,8 +213,9 @@ func (g *Graph) ScatterBatch(src, dst []uint32) (parts []SubBatch, bound uint32)
 		c := counts[w*S : w*S+S]
 		for i := lo; i < hi; i++ {
 			s := src[i]
-			j := c[g.ShardOf(s)]
-			c[g.ShardOf(s)] = j + 1
+			sh := pm.ShardOf(s)
+			j := c[sh]
+			c[sh] = j + 1
 			srcOut[j] = s
 			dstOut[j] = dst[i]
 		}
@@ -237,12 +239,12 @@ func (g *Graph) ScatterBatch(src, dst []uint32) (parts []SubBatch, bound uint32)
 }
 
 // scatterSeq is the one-worker scatter for small batches.
-func (g *Graph) scatterSeq(src, dst []uint32, parts []SubBatch) ([]SubBatch, uint32) {
+func (g *Graph) scatterSeq(pm *PartitionMap, src, dst []uint32, parts []SubBatch) ([]SubBatch, uint32) {
 	S := len(g.shards)
 	sizes := make([]int, S)
 	max := uint32(0)
 	for i, s := range src {
-		sizes[g.ShardOf(s)]++
+		sizes[pm.ShardOf(s)]++
 		if s > max {
 			max = s
 		}
@@ -259,7 +261,7 @@ func (g *Graph) scatterSeq(src, dst []uint32, parts []SubBatch) ([]SubBatch, uin
 		off += sizes[s]
 	}
 	for i, s := range src {
-		sh := g.ShardOf(s)
+		sh := pm.ShardOf(s)
 		j := offs[sh]
 		offs[sh] = j + 1
 		srcOut[j] = s

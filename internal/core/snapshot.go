@@ -144,6 +144,12 @@ func (s *Snapshot) Degree(v uint32) uint32 {
 	return uint32(s.offs[v+1] - s.offs[v])
 }
 
+// EdgeOffset returns the cumulative edge count of vertices [0, v): the CSR
+// offset of v's adjacency segment. v may equal NumVertices, giving
+// NumEdges. The rebalancer binary-searches it to find the vertex boundary
+// that splits a shard's edge mass at a target fraction.
+func (s *Snapshot) EdgeOffset(v uint32) uint64 { return s.offs[v] }
+
 // Neighbors returns v's sorted neighbors; the slice aliases snapshot
 // storage and must not be mutated.
 func (s *Snapshot) Neighbors(v uint32) []uint32 {

@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf is a seeded power-law batch generator: source vertices follow a
+// Zipf(theta) distribution over [0, n) with the hubs at the low IDs, so a
+// contiguous-range sharding concentrates the write load in the low shard —
+// exactly the skew the rebalancer exists to fix. Destinations are uniform
+// (no self-loops). Deterministic given (n, theta, seed): same parameters,
+// same edge stream, across runs and Go releases (it builds on the
+// package's own RNG).
+type Zipf struct {
+	rng *RNG
+	cdf []float64 // cdf[i] = P(rank <= i), exact, over all n ranks
+	n   uint32
+}
+
+// NewZipf returns a generator over vertex IDs [0, n) with exponent theta
+// (larger = more skewed; 0.8–1.3 covers most real power-law graphs).
+// n must be at least 2 so destinations can avoid self-loops.
+func NewZipf(n uint32, theta float64, seed uint64) *Zipf {
+	if n < 2 {
+		panic("gen: Zipf needs n >= 2")
+	}
+	z := &Zipf{rng: NewRNG(seed), n: n, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := uint32(0); i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// NumVertices returns the generator's vertex-space size.
+func (z *Zipf) NumVertices() uint32 { return z.n }
+
+// Vertex draws one Zipf-distributed vertex ID (rank r maps to ID r, so
+// ID 0 is the heaviest hub).
+func (z *Zipf) Vertex() uint32 {
+	p := z.rng.Float64()
+	return uint32(sort.SearchFloat64s(z.cdf, p))
+}
+
+// Batch draws m directed edges: Zipf-distributed sources, uniform
+// destinations, no self-loops. The returned slices are freshly allocated.
+func (z *Zipf) Batch(m int) (src, dst []uint32) {
+	src = make([]uint32, m)
+	dst = make([]uint32, m)
+	for i := range src {
+		s := z.Vertex()
+		// Uniform over the other n-1 IDs: offset by 1..n-1 from s, mod n.
+		d := (s + 1 + z.rng.Uint32n(z.n-1)) % z.n
+		src[i], dst[i] = s, d
+	}
+	return src, dst
+}

@@ -1,0 +1,51 @@
+package gen
+
+import "testing"
+
+func TestZipfDeterminism(t *testing.T) {
+	a := NewZipf(10000, 1.1, 12345)
+	b := NewZipf(10000, 1.1, 12345)
+	as, ad := a.Batch(5000)
+	bs, bd := b.Batch(5000)
+	for i := range as {
+		if as[i] != bs[i] || ad[i] != bd[i] {
+			t.Fatalf("same seed diverges at edge %d: (%d,%d) vs (%d,%d)", i, as[i], ad[i], bs[i], bd[i])
+		}
+	}
+	c := NewZipf(10000, 1.1, 54321)
+	cs, _ := c.Batch(5000)
+	same := 0
+	for i := range as {
+		if as[i] == cs[i] {
+			same++
+		}
+	}
+	if same == len(as) {
+		t.Fatal("different seeds produced identical source streams")
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	z := NewZipf(10000, 1.1, 7)
+	src, dst := z.Batch(50000)
+	head := 0 // samples landing in the top 1% of IDs
+	for i, s := range src {
+		if s >= z.NumVertices() {
+			t.Fatalf("source %d out of range", s)
+		}
+		if dst[i] >= z.NumVertices() {
+			t.Fatalf("dst %d out of range", dst[i])
+		}
+		if s == dst[i] {
+			t.Fatalf("self-loop at %d", i)
+		}
+		if s < 100 {
+			head++
+		}
+	}
+	// Zipf(1.1) concentrates well over half the mass in the top 1% of
+	// ranks; uniform would put ~1% there. Assert a loose middle ground.
+	if frac := float64(head) / float64(len(src)); frac < 0.30 {
+		t.Fatalf("top-1%% IDs drew only %.1f%% of sources; not a power law", frac*100)
+	}
+}

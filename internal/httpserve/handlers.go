@@ -17,24 +17,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
+	// Partition-map introspection per graph: epoch, range starts, and the
+	// live skew gauge, so operators can see a resharding take effect (or
+	// the need for one) from the health probe alone.
+	parts := map[string]any{}
+	for _, n := range s.GraphNames() {
+		if st := s.store(n); st != nil {
+			p := st.Partition()
+			parts[n] = map[string]any{
+				"epoch":    p.Epoch,
+				"starts":   p.Starts,
+				"skew_pct": p.SkewPct,
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"graphs": len(s.GraphNames()),
+		"status":     "ok",
+		"graphs":     len(parts),
+		"partitions": parts,
 	})
 }
 
 // graphSummary is one entry of the graph listing and the body of the
 // per-graph stats endpoint.
 type graphSummary struct {
-	Name       string             `json:"name"`
-	Vertices   uint32             `json:"vertices"`
-	Edges      uint64             `json:"edges"`
-	Epoch      uint64             `json:"epoch"`
-	Shards     int                `json:"shards"`
-	MaxQueue   int                `json:"max_queue"`
-	QueueDepth int                `json:"queue_depth"`
-	Saturated  bool               `json:"saturated"`
-	Stats      lsgraph.StoreStats `json:"stats"`
+	Name       string                `json:"name"`
+	Vertices   uint32                `json:"vertices"`
+	Edges      uint64                `json:"edges"`
+	Epoch      uint64                `json:"epoch"`
+	Shards     int                   `json:"shards"`
+	MaxQueue   int                   `json:"max_queue"`
+	QueueDepth int                   `json:"queue_depth"`
+	Saturated  bool                  `json:"saturated"`
+	Stats      lsgraph.StoreStats    `json:"stats"`
+	Partition  lsgraph.PartitionInfo `json:"partition"`
 }
 
 func summarize(t *tenant) graphSummary {
@@ -49,6 +65,7 @@ func summarize(t *tenant) graphSummary {
 		QueueDepth: st.QueueDepth(),
 		Saturated:  st.Saturated(),
 		Stats:      st.Stats(),
+		Partition:  st.Partition(),
 	}
 }
 
@@ -445,6 +462,39 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 	}
 	resp["nanos"] = time.Since(start).Nanoseconds()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRebalance re-partitions the named graph's vertex space toward
+// equal per-shard edge mass (Store.Rebalance) and returns the move
+// summary plus the resulting partition layout. The call blocks for the
+// duration of the resharding — boundary moves quiesce only the two shard
+// writers they touch, so ingest and reads keep flowing meanwhile — and is
+// admitted through the kernel semaphore, since like a kernel it is a
+// bounded-concurrency heavyweight operation.
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	t, err := s.lookup(r.PathValue("graph"), false)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	release, ok := s.admitKernel(w)
+	if !ok {
+		return
+	}
+	defer release()
+	res, err := t.store.Rebalance()
+	if err != nil {
+		writeError(w, http.StatusConflict, "rebalance: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":     t.name,
+		"result":    res,
+		"partition": t.store.Partition(),
+	})
 }
 
 // rankedVertex is one entry of PageRank's top-K response.

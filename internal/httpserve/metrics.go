@@ -16,6 +16,7 @@ var (
 	obsRouteNeighbors = obs.NewHTTPMetrics("neighbors")
 	obsRouteKhop      = obs.NewHTTPMetrics("khop")
 	obsRouteKernel    = obs.NewHTTPMetrics("kernel")
+	obsRouteRebalance = obs.NewHTTPMetrics("rebalance")
 
 	// obsGraphs tracks the number of registered named graphs.
 	obsGraphs = obs.NewGauge("lsgraph_http_graphs",

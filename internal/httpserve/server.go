@@ -69,6 +69,11 @@ type Config struct {
 	// RetryAfterSeconds is the Retry-After hint attached to 429 responses
 	// (default 1).
 	RetryAfterSeconds int
+	// DefaultAutoRebalance is the auto-rebalance skew threshold for graphs
+	// created without an explicit one (lsgraph.WithAutoRebalance). Zero,
+	// the default, leaves background rebalancing off; the explicit
+	// rebalance endpoint works either way.
+	DefaultAutoRebalance float64
 }
 
 func (c *Config) sanitize() {
@@ -107,6 +112,9 @@ type GraphConfig struct {
 	// MaxQueue is the per-shard queue bound in batches
 	// (lsgraph.WithMaxQueue).
 	MaxQueue int `json:"max_queue,omitempty"`
+	// AutoRebalance is the background skew threshold
+	// (lsgraph.WithAutoRebalance); 0 disables the watcher.
+	AutoRebalance float64 `json:"auto_rebalance,omitempty"`
 }
 
 // tenant is one named graph: its store plus the resolved config it was
@@ -166,6 +174,9 @@ func (s *Server) CreateGraph(name string, gc GraphConfig) (resolved GraphConfig,
 	if gc.MaxQueue <= 0 {
 		gc.MaxQueue = s.cfg.DefaultMaxQueue
 	}
+	if gc.AutoRebalance == 0 {
+		gc.AutoRebalance = s.cfg.DefaultAutoRebalance
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining.Load() {
@@ -182,7 +193,8 @@ func (s *Server) CreateGraph(name string, gc GraphConfig) (resolved GraphConfig,
 		cfg:  gc,
 		store: lsgraph.NewStore(gc.Vertices,
 			lsgraph.WithShards(gc.Shards),
-			lsgraph.WithMaxQueue(gc.MaxQueue)),
+			lsgraph.WithMaxQueue(gc.MaxQueue),
+			lsgraph.WithAutoRebalance(gc.AutoRebalance)),
 	}
 	s.graphs[name] = t
 	obsGraphs.Set(int64(len(s.graphs)))
@@ -299,6 +311,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/graphs/{graph}/vertices/{vertex}/neighbors", obsRouteNeighbors, s.handleNeighbors)
 	route("GET /v1/graphs/{graph}/khop", obsRouteKhop, s.handleKhop)
 	route("POST /v1/graphs/{graph}/kernels/{kernel}", obsRouteKernel, s.handleKernel)
+	route("POST /v1/graphs/{graph}/rebalance", obsRouteRebalance, s.handleRebalance)
 
 	oh := obs.Handler(obs.Default)
 	mux.Handle("/metrics", oh)

@@ -636,3 +636,102 @@ func TestGraphLifecycleHTTP(t *testing.T) {
 		t.Fatalf("bad name: status %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestRebalanceEndpoint drives the admin resharding route end to end: a
+// skewed ingest onto a 4-shard graph, POST /rebalance, and introspection
+// of the new layout through the graph summary and /healthz. The data
+// plane must agree with the oracle before and after the map changes.
+func TestRebalanceEndpoint(t *testing.T) {
+	srv := New(Config{DefaultShards: 4, DefaultVertices: 2048, AutoCreate: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Skewed batch: all sources inside the first shard's initial range.
+	oracle := refgraph.New(2048)
+	var src, dst []uint32
+	for i := uint32(0); i < 6000; i++ {
+		s, d := i%48, (i*31+7)%2048
+		src, dst = append(src, s), append(dst, d)
+		oracle.Insert(s, d)
+	}
+	if code := postEdges(t, client, ts.URL, "skewed", "insert", ContentTypeBinary, src, dst); code != http.StatusAccepted {
+		t.Fatalf("ingest: %d", code)
+	}
+	getJSON(t, client, ts.URL+"/v1/graphs/skewed", nil) // force existence
+	resp, err := client.Post(ts.URL+"/v1/graphs/skewed/flush", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var reb struct {
+		Result struct {
+			Moves         int     `json:"moves"`
+			SkewPctBefore float64 `json:"skew_pct_before"`
+			SkewPctAfter  float64 `json:"skew_pct_after"`
+			MapEpoch      uint64  `json:"map_epoch"`
+		} `json:"result"`
+		Partition struct {
+			Epoch  uint64   `json:"epoch"`
+			Starts []uint32 `json:"starts"`
+		} `json:"partition"`
+	}
+	resp, err = client.Post(ts.URL+"/v1/graphs/skewed/rebalance", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance: %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if reb.Result.Moves == 0 || reb.Result.SkewPctAfter > reb.Result.SkewPctBefore/2 {
+		t.Fatalf("rebalance ineffective: %+v", reb.Result)
+	}
+	if reb.Partition.Epoch == 0 || len(reb.Partition.Starts) != 4 {
+		t.Fatalf("partition after rebalance: %+v", reb.Partition)
+	}
+
+	// Unknown graph: 404.
+	resp, err = client.Post(ts.URL+"/v1/graphs/nope/rebalance", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("rebalance on missing graph: %d", resp.StatusCode)
+	}
+
+	// The summary and health endpoints expose the new map.
+	var sum struct {
+		Partition struct {
+			Epoch   uint64  `json:"epoch"`
+			SkewPct float64 `json:"skew_pct"`
+		} `json:"partition"`
+	}
+	if code := getJSON(t, client, ts.URL+"/v1/graphs/skewed", &sum); code != http.StatusOK {
+		t.Fatalf("summary: %d", code)
+	}
+	if sum.Partition.Epoch != reb.Partition.Epoch {
+		t.Fatalf("summary epoch %d, rebalance said %d", sum.Partition.Epoch, reb.Partition.Epoch)
+	}
+	var hz struct {
+		Partitions map[string]struct {
+			Epoch uint64 `json:"epoch"`
+		} `json:"partitions"`
+	}
+	if code := getJSON(t, client, ts.URL+"/healthz", &hz); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if hz.Partitions["skewed"].Epoch != reb.Partition.Epoch {
+		t.Fatalf("healthz epoch %d, want %d", hz.Partitions["skewed"].Epoch, reb.Partition.Epoch)
+	}
+
+	// The data plane still matches the oracle exactly.
+	diffCheck(t, client, ts.URL, "skewed", 2048, oracle, "after rebalance")
+}

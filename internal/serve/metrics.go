@@ -37,5 +37,19 @@ var (
 	obsShardRouted = obs.NewPerIndexCounter("lsgraph_store_shard_edges_routed_total", "",
 		"edges routed to each shard by the batch scatter", "shard")
 	obsShardSkew = obs.NewGauge("lsgraph_store_shard_skew_pct", "",
-		"last scattered batch's max-shard deviation from an even split, percent (0=even, capped at 100)")
+		"last scattered batch's max-shard deviation from an even split, percent of fair share (0=even, 100=2x fair, unclamped)")
+
+	// Partition-map / rebalance series (see rebalance.go).
+	obsMapEpoch = obs.NewGauge("lsgraph_store_partition_epoch", "",
+		"current partition-map version; increments once per boundary move")
+	obsRebalances = obs.NewCounter("lsgraph_store_rebalance_total", "",
+		"completed Rebalance calls that performed at least one boundary move")
+	obsRebalanceMoves = obs.NewCounter("lsgraph_store_rebalance_moves_total", "",
+		"individual partition boundary moves executed")
+	obsRebalanceMovedVerts = obs.NewCounter("lsgraph_store_rebalance_moved_vertices_total", "",
+		"materialized vertex blocks that changed shard during boundary moves")
+	obsRebalanceMovedEdges = obs.NewCounter("lsgraph_store_rebalance_moved_edges_total", "",
+		"directed edges that changed shard during boundary moves")
+	obsRebalanceDuration = obs.NewHistogram("lsgraph_store_rebalance_nanos", "", "ns",
+		"splice-half latency of one boundary move: splice + republish + map swap")
 )

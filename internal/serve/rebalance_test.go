@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lsgraph/internal/core"
+	"lsgraph/internal/gen"
+)
+
+// skewedStore builds an S-shard store preloaded with a Zipf-skewed batch
+// so the low-ID shard is far over its fair share.
+func skewedStore(t *testing.T, n uint32, shards, edges int) *Store {
+	t.Helper()
+	z := gen.NewZipf(n, 1.1, 42)
+	src, dst := z.Batch(edges)
+	st := New(core.New(n, core.Config{Workers: 2, Shards: shards}), Options{})
+	st.InsertBatch(src, dst)
+	st.Flush()
+	return st
+}
+
+func TestRebalanceReducesSkew(t *testing.T) {
+	st := skewedStore(t, 4096, 4, 30000)
+	defer st.Close()
+
+	before := st.Partition()
+	if before.SkewPct < 50 {
+		t.Fatalf("workload not skewed enough to test: skew %.1f%%", before.SkewPct)
+	}
+	res, err := st.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves == 0 {
+		t.Fatal("rebalance made no moves on a skewed store")
+	}
+	after := st.Partition()
+	if after.Epoch == before.Epoch {
+		t.Fatal("map epoch did not advance")
+	}
+	// Acceptance bar: the skew gauge must drop by at least 2x.
+	if after.SkewPct > before.SkewPct/2 {
+		t.Fatalf("skew %.1f%% -> %.1f%%: reduction < 2x", before.SkewPct, after.SkewPct)
+	}
+	if res.SkewPctBefore != before.SkewPct {
+		t.Fatalf("result skew-before %.1f != measured %.1f", res.SkewPctBefore, before.SkewPct)
+	}
+	// Edge mass is preserved across moves.
+	var total uint64
+	for _, m := range after.Edges {
+		total += m
+	}
+	var wantTotal uint64
+	for _, m := range before.Edges {
+		wantTotal += m
+	}
+	if total != wantTotal {
+		t.Fatalf("edge mass changed: %d -> %d", wantTotal, total)
+	}
+	st.Flush()
+	if err := checkStoreInvariants(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkStoreInvariants flushes and deep-validates the store's graph.
+func checkStoreInvariants(st *Store) error {
+	st.Flush()
+	return st.g.CheckInvariants()
+}
+
+func TestPinnedViewSurvivesRebalance(t *testing.T) {
+	st := skewedStore(t, 2048, 4, 20000)
+	defer st.Close()
+
+	v := st.View()
+	wantEpoch := v.Epoch()
+	n := v.NumVertices()
+	wantDeg := make([]uint32, n)
+	wantNbr := make(map[uint32][]uint32)
+	for u := uint32(0); u < n; u++ {
+		wantDeg[u] = v.Degree(u)
+		if wantDeg[u] > 0 {
+			wantNbr[u] = append([]uint32(nil), v.Neighbors(u)...)
+		}
+	}
+	wantM := v.NumEdges()
+
+	res, err := st.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves == 0 {
+		t.Fatal("rebalance made no moves")
+	}
+	// Ingest more edges after the move so the live layout diverges further;
+	// destination n is a brand-new vertex, so all three edges are new.
+	st.InsertBatch([]uint32{0, 1, 2}, []uint32{n, n, n})
+	st.Flush()
+
+	// The pinned view must still read the exact pre-rebalance state —
+	// including vertices whose owning shard changed.
+	if v.Epoch() != wantEpoch || v.NumEdges() != wantM {
+		t.Fatalf("pinned view changed: epoch %d->%d m %d->%d", wantEpoch, v.Epoch(), wantM, v.NumEdges())
+	}
+	for u := uint32(0); u < n; u++ {
+		if d := v.Degree(u); d != wantDeg[u] {
+			t.Fatalf("pinned view Degree(%d) = %d, want %d", u, d, wantDeg[u])
+		}
+		if wantDeg[u] > 0 {
+			got := v.Neighbors(u)
+			for i, w := range wantNbr[u] {
+				if got[i] != w {
+					t.Fatalf("pinned view Neighbors(%d) diverge at %d", u, i)
+				}
+			}
+		}
+	}
+	flat := v.Flatten()
+	if flat.NumEdges() != wantM {
+		t.Fatalf("pinned flatten has %d edges, want %d", flat.NumEdges(), wantM)
+	}
+	v.Release()
+
+	// A fresh view sees the post-rebalance, post-ingest state.
+	v2 := st.View()
+	defer v2.Release()
+	if v2.NumEdges() != wantM+3 {
+		t.Fatalf("fresh view has %d edges, want %d", v2.NumEdges(), wantM+3)
+	}
+	if d := v2.Degree(0); d != wantDeg[0]+1 {
+		t.Fatalf("fresh view Degree(0) = %d, want %d", d, wantDeg[0]+1)
+	}
+}
+
+// TestRebalanceZeroStopTheWorld holds a boundary move mid-execution (both
+// affected writers parked) and asserts that readers and unaffected shard
+// writers keep making progress throughout.
+func TestRebalanceZeroStopTheWorld(t *testing.T) {
+	st := skewedStore(t, 4096, 4, 20000)
+	defer st.Close()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	testHookRebalanceExecute = func() {
+		once.Do(func() { close(entered) })
+		<-gate
+	}
+	defer func() { testHookRebalanceExecute = nil }()
+
+	pm := st.Partition()
+	// Move boundary 0: shards 0 and 1 are affected; shards 2 and 3 are not.
+	cut := pm.Starts[1] / 2
+	if cut == 0 {
+		cut = 1
+	}
+	moveDone := make(chan error, 1)
+	go func() {
+		_, _, err := st.MoveBoundary(0, cut)
+		moveDone <- err
+	}()
+	<-entered // both affected writers are now parked, splice not yet begun
+
+	// Readers make progress: views acquire and read without blocking.
+	for i := 0; i < 3; i++ {
+		v := st.View()
+		if v.NumEdges() == 0 {
+			t.Fatal("mid-rebalance view is empty")
+		}
+		v.Release()
+	}
+	// An unaffected shard's writer applies and publishes mid-rebalance:
+	// insert an edge owned by the last shard and wait for it to become
+	// reader-visible (Flush would block on the parked writers' sentinels).
+	u := pm.Starts[3] + 5
+	preDeg := st.Degree(u)
+	st.InsertBatch([]uint32{u}, []uint32{u + 1})
+	visible := false
+	for i := 0; i < 2000 && !visible; i++ {
+		if st.Degree(u) == preDeg+1 {
+			visible = true
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !visible {
+		t.Fatal("unaffected shard writer made no progress during rebalance")
+	}
+
+	close(gate)
+	if err := <-moveDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Partition().Starts[1]; got != cut {
+		t.Fatalf("boundary at %d after move, want %d", got, cut)
+	}
+	if err := checkStoreInvariants(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalanceUnderLiveTraffic runs concurrent ingest, reads, and
+// repeated boundary moves, then differentially compares the final state
+// against a single-shard oracle fed the same edges.
+func TestRebalanceUnderLiveTraffic(t *testing.T) {
+	const n = 2048
+	st := New(core.New(n, core.Config{Workers: 2, Shards: 4}), Options{MaxQueue: 8})
+	defer st.Close()
+
+	var mu sync.Mutex
+	var allSrc, allDst []uint32
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writer: skewed batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		z := gen.NewZipf(n, 1.2, 7)
+		for i := 0; i < 200; i++ {
+			src, dst := z.Batch(100)
+			mu.Lock()
+			allSrc = append(allSrc, src...)
+			allDst = append(allDst, dst...)
+			mu.Unlock()
+			st.InsertBatch(src, dst)
+		}
+	}()
+	// Readers: continuous views, stopped after the writers finish (their
+	// own WaitGroup — they must not gate the stop flag they poll).
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for !stop.Load() {
+				v := st.View()
+				_ = v.Degree(uint32(len(v.es)))
+				v.Release()
+			}
+		}()
+	}
+	// Rebalancer: repeated full rebalances while traffic flows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := st.Rebalance(); err != nil {
+				t.Errorf("rebalance: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Wait for the writer and rebalancer, then stop the readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("timeout")
+	}
+	stop.Store(true)
+	readers.Wait()
+	st.Flush()
+
+	oracle := core.NewFromEdges(n, allSrc, allDst, core.Config{Workers: 2})
+	v := st.View()
+	defer v.Release()
+	if v.NumEdges() != oracle.NumEdges() {
+		t.Fatalf("store has %d edges, oracle %d", v.NumEdges(), oracle.NumEdges())
+	}
+	for u := uint32(0); u < n; u++ {
+		if v.Degree(u) != oracle.Degree(u) {
+			t.Fatalf("Degree(%d): store %d, oracle %d", u, v.Degree(u), oracle.Degree(u))
+		}
+		got := v.Neighbors(u)
+		want := oracle.AppendNeighbors(u, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Neighbors(%d) diverge at %d", u, i)
+			}
+		}
+	}
+	if err := st.g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stop flag needs atomic across goroutines; declared here to keep the
+// test self-contained.
+func TestAutoRebalance(t *testing.T) {
+	st := New(core.New(4096, core.Config{Workers: 2, Shards: 4}),
+		Options{AutoRebalance: 1.3, AutoInterval: 10 * time.Millisecond})
+	defer st.Close()
+
+	z := gen.NewZipf(4096, 1.1, 99)
+	src, dst := z.Batch(30000)
+	st.InsertBatch(src, dst)
+	st.Flush()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Stats().BoundaryMoves > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Stats().BoundaryMoves == 0 {
+		t.Fatal("auto-rebalancer never moved a boundary on a skewed store")
+	}
+	// Let it converge, then confirm the layout is no longer heavily skewed.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Partition().SkewPct < 30 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if sk := st.Partition().SkewPct; sk >= 30 {
+		t.Fatalf("auto-rebalance left skew at %.1f%%", sk)
+	}
+}
+
+func TestMoveBoundaryOnStore(t *testing.T) {
+	st := New(core.New(100, core.Config{Workers: 2, Shards: 2}), Options{})
+	defer st.Close()
+	st.InsertBatch([]uint32{10, 60}, []uint32{11, 61})
+	st.Flush()
+
+	if _, _, err := st.MoveBoundary(0, 50); err != core.ErrNoMove {
+		t.Fatalf("no-op move: %v, want ErrNoMove", err)
+	}
+	mv, me, err := st.MoveBoundary(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv != 20 {
+		t.Fatalf("moved %d vertices, want 20 (range [30,50))", mv)
+	}
+	if me != 0 {
+		t.Fatalf("moved %d edges, want 0 (10 stays in shard 0, 60 in shard 1)", me)
+	}
+	p := st.Partition()
+	if p.Starts[1] != 30 || p.Epoch != 1 {
+		t.Fatalf("partition %+v after move", p)
+	}
+	// Both vertices still read correctly from their (possibly new) shards.
+	if st.Degree(10) != 1 || st.Degree(60) != 1 {
+		t.Fatalf("degrees after move: %d, %d", st.Degree(10), st.Degree(60))
+	}
+}

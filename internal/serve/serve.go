@@ -47,6 +47,18 @@
 // A retired snapshot can never pass the recheck because each publish
 // allocates a fresh epoch descriptor and epochs only move forward.
 //
+// Dynamic partitioning: vertex→shard routing is an immutable, epoch-
+// versioned core.PartitionMap rather than a fixed span. A boundary move
+// (Rebalance / MoveBoundary, rebalance.go) quiesces only the two affected
+// shard writers via a rendezvous control entry in their queues, splices
+// the transferred vertex blocks between the two shards, and publishes the
+// successor map plus both shards' new snapshots through the same
+// atomic-swap protocol as ordinary publishes. Readers pin map+snapshots
+// with a retry loop (View) so a view acquired before, during, or after a
+// move is always internally consistent; views pinned on the old map keep
+// reading the old layout until released. There is no stop-the-world
+// anywhere: unaffected writers and all readers proceed throughout.
+//
 // Vertex-space growth: enqueue computes the batch's required bound
 // (1 + max referenced ID) and reserves it in the logical vertex space
 // immediately (core.Graph.ReserveVertices, an atomic max); the owning
@@ -62,6 +74,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lsgraph/internal/core"
 	"lsgraph/internal/engine"
@@ -81,6 +94,16 @@ type Options struct {
 	// MaxFree bounds the pool of reclaimed snapshots each shard writer
 	// keeps for buffer reuse by the republish loop. Default 4.
 	MaxFree int
+	// AutoRebalance, when > 0, starts a background rebalancer goroutine
+	// that watches the per-shard routed-edge counters and triggers
+	// Rebalance whenever the heaviest shard's load exceeds AutoRebalance
+	// times its fair share (so 1.5 means "act at 50% over fair"). 0
+	// disables automatic rebalancing; Rebalance can still be called
+	// explicitly.
+	AutoRebalance float64
+	// AutoInterval is how often the auto-rebalancer checks the skew.
+	// Default 1s; ignored when AutoRebalance is 0.
+	AutoInterval time.Duration
 }
 
 func (o *Options) sanitize() {
@@ -90,14 +113,21 @@ func (o *Options) sanitize() {
 	if o.MaxFree <= 0 {
 		o.MaxFree = 4
 	}
+	if o.AutoInterval <= 0 {
+		o.AutoInterval = time.Second
+	}
 }
 
 // Batch ops queued for a shard writer. opFlush is a sentinel whose
 // position in the queue marks a Flush call's happens-after point.
+// opRebalance is a control entry appended to both shard writers affected
+// by a boundary move; it marks the queue position at which the shard's
+// routing changes (see rebalance.go).
 const (
 	opInsert = iota
 	opDelete
 	opFlush
+	opRebalance
 )
 
 // pending is one queued update batch (or flush sentinel). src/dst are
@@ -112,16 +142,22 @@ type pending struct {
 	batch    uint64        // flight-recorder batch ID (0 when tracing is off)
 	enq      int64         // trace-timeline enqueue timestamp; 0 when obs and tracing are off
 	done     chan struct{} // flush sentinel only
+	reb      *rebalanceOp  // rebalance control entry only
 }
 
 // epochSnap is one published shard snapshot with its epoch and reader
 // refcount. refs counts pinned readers; the snapshot's buffers are
 // recycled only after it has been retired (a newer epoch swapped in) and
-// refs has drained to zero.
+// refs has drained to zero. base and mapEpoch record the shard's range
+// start and the partition-map epoch it was published under: readers
+// compare mapEpoch against their captured map's RangeEpoch to reject
+// mixed map/snapshot states during a boundary move (see rebalance.go).
 type epochSnap struct {
-	snap  *core.Snapshot
-	epoch uint64
-	refs  atomic.Int64
+	snap     *core.Snapshot
+	epoch    uint64
+	base     uint32
+	mapEpoch uint64
+	refs     atomic.Int64
 }
 
 // testHookBeforeApply, when non-nil, runs on a writer goroutine before
@@ -177,6 +213,38 @@ type Store struct {
 	// otherwise flap between single shards' depths.
 	queued atomic.Int64
 
+	// routeMap is the partition map enqueue scatters by. It is swapped to
+	// the successor map at control-entry install time — before the splice —
+	// under rebMu's write lock, so every batch is routed wholly by one map:
+	// batches ahead of a shard's control entry by the old map, behind it by
+	// the new (see rebalance.go for why either is correct at apply time).
+	routeMap atomic.Pointer[core.PartitionMap]
+	// viewMap is the partition map readers compose views by. It is swapped
+	// only after the splice has produced both affected shards' new
+	// snapshots, just before their cur pointers swap, so the retry-pin
+	// protocol in View/pinFor always converges to a consistent map+snapshot
+	// pair.
+	viewMap atomic.Pointer[core.PartitionMap]
+	// rebMu orders enqueue's scatter+append critical section (read side)
+	// against control-entry installation (write side).
+	rebMu sync.RWMutex
+	// rebalanceMu serializes whole rebalance operations.
+	rebalanceMu sync.Mutex
+	// routed counts edges routed to each shard since construction — the
+	// always-on load signal the rebalance policy reads (unlike the obs
+	// gauges, which are off by default).
+	routed []atomic.Uint64
+
+	autoStop chan struct{} // closes to stop the auto-rebalancer
+	autoDone chan struct{} // closed when the auto-rebalancer exits
+
+	rebStats struct {
+		rebalances    atomic.Uint64
+		boundaryMoves atomic.Uint64
+		movedVertices atomic.Uint64
+		movedEdges    atomic.Uint64
+	}
+
 	stats struct {
 		batchesApplied     atomic.Uint64
 		edgesEnqueued      atomic.Uint64
@@ -207,6 +275,10 @@ func New(g *core.Graph, opt Options) *Store {
 		opt:  opt,
 		done: make(chan struct{}),
 	}
+	pm := g.PartitionMap()
+	s.routeMap.Store(pm)
+	s.viewMap.Store(pm)
+	s.routed = make([]atomic.Uint64, g.NumShards())
 	s.ws = make([]*shardWriter, g.NumShards())
 	for i := range s.ws {
 		w := &shardWriter{
@@ -228,6 +300,14 @@ func New(g *core.Graph, opt Options) *Store {
 		}
 		close(s.done)
 	}()
+	if opt.AutoRebalance > 0 && len(s.ws) > 1 {
+		s.autoStop = make(chan struct{})
+		s.autoDone = make(chan struct{})
+		go s.autoRebalance()
+	}
+	if obs.Enabled() {
+		obsMapEpoch.Set(int64(pm.Epoch))
+	}
 	return s
 }
 
@@ -280,14 +360,21 @@ func (s *Store) enqueue(op int, src, dst []uint32) {
 			}
 		}
 		s.g.ReserveVertices(bound)
+		s.routed[0].Add(uint64(len(src)))
 		s.ws[0].enqueue(op, cs, cd, bound, batch, enq)
 		if batch != 0 {
 			trace.Span(trace.PhaseEnqueue, -1, batch, 0, uint64(len(src)), enq)
 		}
 		return
 	}
+	// The whole scatter+append section runs under rebMu's read lock: a
+	// concurrent boundary move takes the write lock to swap routeMap and
+	// install its control entries, so every batch lands in the queues
+	// routed wholly by one map, cleanly before or after the control entry.
+	s.rebMu.RLock()
+	pm := s.routeMap.Load()
 	trScatter := trace.Start()
-	parts, bound := s.g.ScatterBatch(src, dst)
+	parts, bound := s.g.ScatterBatchWith(pm, src, dst)
 	trace.Span(trace.PhaseScatter, -1, batch, 0, uint64(len(src)), trScatter)
 	s.g.ReserveVertices(bound)
 	if obs.Enabled() {
@@ -298,19 +385,23 @@ func (s *Store) enqueue(op int, src, dst []uint32) {
 		if len(part.Src) == 0 {
 			continue
 		}
+		s.routed[i].Add(uint64(len(part.Src)))
 		if obs.Enabled() {
 			obsShardRouted.AddShard(i, uint64(len(part.Src)))
 		}
 		s.ws[i].enqueue(op, part.Src, part.Dst, bound, batch, enq)
 	}
+	s.rebMu.RUnlock()
 	if batch != 0 {
 		trace.Span(trace.PhaseEnqueue, -1, batch, 0, uint64(len(src)), enq)
 	}
 }
 
 // shardSkewPct returns how far the largest routed part deviates from a
-// perfectly even split, in percent (0 = even, 100 = one shard got twice
-// its fair share, or everything went to one shard of many).
+// perfectly even split, in percent of the fair share (0 = even, 100 = one
+// shard got twice its fair share, 700 = a shard of eight got everything).
+// The value is unclamped so heavy skew — hubs at many times fair share —
+// is visible instead of saturating the gauge.
 func shardSkewPct(parts []core.SubBatch) int64 {
 	total, max := 0, 0
 	for _, p := range parts {
@@ -326,9 +417,6 @@ func shardSkewPct(parts []core.SubBatch) int64 {
 	skew := (float64(max)/fair - 1) * 100
 	if skew < 0 {
 		skew = 0
-	}
-	if skew > 100 {
-		skew = 100
 	}
 	return int64(skew)
 }
@@ -422,6 +510,10 @@ func (s *Store) Close() {
 		<-s.done
 		return
 	}
+	if s.autoStop != nil {
+		close(s.autoStop)
+		<-s.autoDone
+	}
 	for _, w := range s.ws {
 		w.mu.Lock()
 		w.closed = true
@@ -464,6 +556,19 @@ func (w *shardWriter) run() {
 				close(b.done)
 				continue
 			}
+			if b.op == opRebalance {
+				// Rendezvous: the second of the two affected writers to reach
+				// its control entry executes the splice while the first waits
+				// parked. Only these two writers stop; every other shard's
+				// writer and every reader keeps running.
+				if b.reb.arrived.Add(1) == 2 {
+					w.s.executeRebalance(b.reb)
+					close(b.reb.done)
+				} else {
+					<-b.reb.done
+				}
+				continue
+			}
 			if testHookBeforeApply != nil {
 				testHookBeforeApply()
 			}
@@ -504,6 +609,23 @@ func (w *shardWriter) run() {
 func (w *shardWriter) publish(batch uint64) {
 	t := obs.StartTimer()
 	tr := trace.Start()
+	e := w.buildSnap()
+	if old := w.cur.Swap(e); old != nil {
+		w.retired = append(w.retired, old)
+	}
+	w.s.stats.snapshotsPublished.Add(1)
+	w.reclaim()
+	obsPublish.ObserveSince(t)
+	trace.Span(trace.PhasePublish, w.idx, batch, e.epoch, e.snap.NumEdges(), tr)
+}
+
+// buildSnap flattens the writer's shard into a fresh epochSnap (reusing a
+// drained snapshot's buffers when available) without swapping it in,
+// recording the shard's current base and the partition-map epoch the
+// snapshot is consistent with. Writer goroutine only — or the rebalance
+// executor, while both affected writers are parked at their control
+// entries (which is what makes touching w.free/w.cur safe from there).
+func (w *shardWriter) buildSnap() *epochSnap {
 	var reuse *core.Snapshot
 	if n := len(w.free); n > 0 {
 		reuse = w.free[n-1]
@@ -518,14 +640,12 @@ func (w *shardWriter) publish(batch uint64) {
 	if old := w.cur.Load(); old != nil {
 		next = old.epoch + 1
 	}
-	e := &epochSnap{snap: w.shard.SnapshotInto(reuse), epoch: next}
-	if old := w.cur.Swap(e); old != nil {
-		w.retired = append(w.retired, old)
+	return &epochSnap{
+		snap:     w.shard.SnapshotInto(reuse),
+		epoch:    next,
+		base:     w.shard.Base(),
+		mapEpoch: w.s.g.PartitionMap().Epoch,
 	}
-	w.s.stats.snapshotsPublished.Add(1)
-	w.reclaim()
-	obsPublish.ObserveSince(t)
-	trace.Span(trace.PhasePublish, w.idx, batch, e.epoch, e.snap.NumEdges(), tr)
 }
 
 // reclaim recycles retired snapshots whose epoch has drained (refcount
@@ -593,6 +713,7 @@ func (w *shardWriter) release(e *epochSnap) { e.refs.Add(-1) }
 // snapshots' buffers for the life of the Store.
 type View struct {
 	s     *Store
+	pm    *core.PartitionMap
 	es    []*epochSnap
 	epoch uint64
 	nv    uint32
@@ -607,13 +728,38 @@ type View struct {
 // returns them pinned as one composed view. Always non-blocking with
 // respect to the writers: a View is available even mid-batch. Safe to call
 // from any goroutine, including after Close.
+//
+// The acquire loop also captures the partition map and verifies every
+// pinned snapshot was published under a map whose view of that shard's
+// range is no older than the captured map's (mapEpoch >= RangeEpoch), then
+// rechecks that the map is still current. During the short window in which
+// a boundary move swaps the map and the two affected shards' snapshots,
+// one of the two checks fails and the loop retries; the executor's swap
+// order (splice → build snapshots → swap viewMap → swap snapshots) bounds
+// the retry window to nanoseconds.
 func (s *Store) View() *View {
-	v := &View{s: s, es: make([]*epochSnap, len(s.ws))}
-	for i, w := range s.ws {
-		e := w.acquire()
-		v.es[i] = e
-		v.epoch += e.epoch
-		v.m += e.snap.NumEdges()
+	v := &View{s: s}
+	for {
+		pm := s.viewMap.Load()
+		es := make([]*epochSnap, len(s.ws))
+		var epoch, m uint64
+		ok := true
+		for i, w := range s.ws {
+			e := w.acquire()
+			es[i] = e
+			if e.mapEpoch < pm.RangeEpoch[i] {
+				ok = false
+			}
+			epoch += e.epoch
+			m += e.snap.NumEdges()
+		}
+		if ok && s.viewMap.Load() == pm {
+			v.pm, v.es, v.epoch, v.m = pm, es, epoch, m
+			break
+		}
+		for i, e := range es {
+			s.ws[i].release(e)
+		}
 	}
 	// Read the vertex bound after pinning: it is then at least as large as
 	// the bound reserved before any pinned snapshot's batch was published,
@@ -645,9 +791,13 @@ func (v *View) NumEdges() uint64 { return v.m }
 // reserved or grown after the shard's pinned publish): such a vertex has
 // degree 0 in this view.
 func (v *View) snapOf(u uint32) (*core.Snapshot, uint32, bool) {
-	i := v.s.g.ShardOf(u)
-	snap := v.es[i].snap
-	lu := u - v.s.g.Shard(i).Base()
+	// Route by the view's own pinned map and snapshot bases, never the
+	// store's live ones: a concurrent boundary move must not change what
+	// this view reads.
+	i := v.pm.ShardOf(u)
+	e := v.es[i]
+	snap := e.snap
+	lu := u - e.base
 	return snap, lu, lu < snap.NumVertices()
 }
 
@@ -708,7 +858,7 @@ func (v *View) Flatten() *core.Snapshot {
 		bases := make([]uint32, len(v.es))
 		for i, e := range v.es {
 			parts[i] = e.snap
-			bases[i] = v.s.g.Shard(i).Base()
+			bases[i] = e.base
 		}
 		v.flat = core.ComposeSnapshots(parts, bases, v.nv)
 	})
@@ -753,23 +903,39 @@ func (s *Store) Epoch() uint64 {
 func (s *Store) NumVertices() uint32 { return s.g.NumVertices() }
 
 // NumEdges returns the directed edge count summed over the shards'
-// current snapshots.
+// current snapshots, acquired as one consistent map+snapshot cut (so a
+// concurrent boundary move never double- or under-counts the moved
+// range's edges).
 func (s *Store) NumEdges() uint64 {
-	var m uint64
-	for _, w := range s.ws {
+	v := s.View()
+	m := v.NumEdges()
+	v.Release()
+	return m
+}
+
+// pinFor routes v to its owning shard under the current view map and pins
+// that shard's snapshot, retrying when a concurrent boundary move leaves
+// the map and the pinned snapshot momentarily inconsistent (same protocol
+// as View, for a single shard). The returned local index is valid against
+// the returned snapshot; callers must release e on the returned writer.
+func (s *Store) pinFor(v uint32) (*shardWriter, *epochSnap, uint32) {
+	for {
+		pm := s.viewMap.Load()
+		i := pm.ShardOf(v)
+		w := s.ws[i]
 		e := w.acquire()
-		m += e.snap.NumEdges()
+		if e.mapEpoch >= pm.RangeEpoch[i] && s.viewMap.Load() == pm {
+			return w, e, v - e.base
+		}
 		w.release(e)
 	}
-	return m
 }
 
 // Degree returns v's out-degree in the owning shard's current snapshot.
 func (s *Store) Degree(v uint32) uint32 {
-	w := s.ws[s.g.ShardOf(v)]
-	e := w.acquire()
+	w, e, lv := s.pinFor(v)
 	d := uint32(0)
-	if lv := v - w.shard.Base(); lv < e.snap.NumVertices() {
+	if lv < e.snap.NumVertices() {
 		d = e.snap.Degree(lv)
 	}
 	w.release(e)
@@ -781,9 +947,8 @@ func (s *Store) Degree(v uint32) uint32 {
 // pinned for the duration of the iteration, so f always sees one coherent
 // adjacency even while batches apply concurrently.
 func (s *Store) ForEachNeighbor(v uint32, f func(u uint32)) {
-	w := s.ws[s.g.ShardOf(v)]
-	e := w.acquire()
-	if lv := v - w.shard.Base(); lv < e.snap.NumVertices() {
+	w, e, lv := s.pinFor(v)
+	if lv < e.snap.NumVertices() {
 		e.snap.ForEachNeighbor(lv, f)
 	}
 	w.release(e)
@@ -794,9 +959,8 @@ func (s *Store) ForEachNeighbor(v uint32, f func(u uint32)) {
 // snapshot stays pinned only for the duration of the call, so the block
 // must not be retained past yield.
 func (s *Store) NeighborBlocks(v uint32, yield func(block []uint32) bool) {
-	w := s.ws[s.g.ShardOf(v)]
-	e := w.acquire()
-	if lv := v - w.shard.Base(); lv < e.snap.NumVertices() {
+	w, e, lv := s.pinFor(v)
+	if lv < e.snap.NumVertices() {
 		e.snap.NeighborBlocks(lv, yield)
 	}
 	w.release(e)
@@ -869,6 +1033,18 @@ type Stats struct {
 	// SnapshotReuses counts publishes that reused a reclaimed snapshot's
 	// buffers instead of allocating.
 	SnapshotReuses uint64
+	// Rebalances counts completed Rebalance calls that performed at least
+	// one boundary move.
+	Rebalances uint64
+	// BoundaryMoves counts individual boundary moves (a Rebalance may
+	// perform several).
+	BoundaryMoves uint64
+	// MovedVertices counts materialized vertex blocks that changed owner
+	// across all boundary moves.
+	MovedVertices uint64
+	// MovedEdges counts directed edges that changed owner across all
+	// boundary moves.
+	MovedEdges uint64
 }
 
 // Stats returns a copy of the Store's counters.
@@ -880,5 +1056,9 @@ func (s *Store) Stats() Stats {
 		SnapshotsPublished: s.stats.snapshotsPublished.Load(),
 		SnapshotsReclaimed: s.stats.snapshotsReclaimed.Load(),
 		SnapshotReuses:     s.stats.snapshotReuses.Load(),
+		Rebalances:         s.rebStats.rebalances.Load(),
+		BoundaryMoves:      s.rebStats.boundaryMoves.Load(),
+		MovedVertices:      s.rebStats.movedVertices.Load(),
+		MovedEdges:         s.rebStats.movedEdges.Load(),
 	}
 }

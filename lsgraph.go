@@ -92,15 +92,16 @@ var (
 )
 
 // settings collects everything the constructors configure: the engine's
-// core.Config plus the serving-layer queue bounds a Store needs. Graph
-// constructors ignore the serving fields.
+// core.Config plus the serving-layer queue bounds and rebalancing policy
+// a Store needs. Graph constructors ignore the serving fields.
 type settings struct {
-	cfg      core.Config
-	maxQueue int
+	cfg           core.Config
+	maxQueue      int
+	autoRebalance float64
 }
 
 // Option configures a Graph or Store at construction; see WithAlpha,
-// WithM, WithWorkers, WithShards, and WithMaxQueue.
+// WithM, WithWorkers, WithShards, WithMaxQueue, and WithAutoRebalance.
 type Option func(*settings)
 
 // WithAlpha sets the space amplification factor α (default 1.2): gapped
@@ -143,6 +144,18 @@ func WithShards(s int) Option {
 // backpressure. Ignored by Graph constructors, which have no queue.
 func WithMaxQueue(n int) Option {
 	return func(s *settings) { s.maxQueue = n }
+}
+
+// WithAutoRebalance enables a Store's background skew watcher: when the
+// hottest shard's routed-edge rate exceeds threshold times its fair share
+// (threshold > 1; 1.5 means "50% over fair"), the store rebalances its
+// partition map toward equal edge mass, moving contiguous vertex ranges
+// between adjacent shards without stopping reads or unaffected writers.
+// Zero (the default) disables the watcher; Store.Rebalance remains
+// available for explicit control. Ignored by Graph constructors and by
+// single-shard stores, which have nothing to rebalance.
+func WithAutoRebalance(threshold float64) Option {
+	return func(s *settings) { s.autoRebalance = threshold }
 }
 
 // Graph is the LSGraph engine in the paper's phase-alternating streaming

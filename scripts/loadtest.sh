@@ -4,21 +4,23 @@
 # record latency percentiles + throughput in BENCH_<tag>.json (the same
 # {tag, unit, benchmarks} shape scripts/bench.sh writes).
 #
-# Usage: scripts/loadtest.sh [tag]        (default tag: pr8; or: make loadtest)
+# Usage: scripts/loadtest.sh [tag]        (default tag: pr9; or: make loadtest)
 # Env:   LOADTEST_TIME=5s    measured run length per mix (2s in CI smoke)
 #        LOADTEST_RATE=300   offered load in requests/second
-#        LOADTEST_MIX=T1,T4,T5  workload mixes to run
+#        LOADTEST_MIX=T1,T4,T5,T6  workload mixes to run (T6 = skewed writes)
 #        LOADTEST_SHARDS=2   shard writers for the target graph
+#        LOADTEST_AUTOREB=1.5  auto-rebalance skew threshold (0 disables)
 #        LOADTEST_ADDR=127.0.0.1:7421  daemon listen address
 set -eu
 
 cd "$(dirname "$0")/.."
 
-tag="${1:-pr8}"
+tag="${1:-pr9}"
 time="${LOADTEST_TIME:-5s}"
 rate="${LOADTEST_RATE:-300}"
-mix="${LOADTEST_MIX:-T1,T4,T5}"
+mix="${LOADTEST_MIX:-T1,T4,T5,T6}"
 shards="${LOADTEST_SHARDS:-2}"
+autoreb="${LOADTEST_AUTOREB:-1.5}"
 addr="${LOADTEST_ADDR:-127.0.0.1:7421}"
 out="BENCH_${tag}.json"
 
@@ -29,7 +31,9 @@ trap '[ -n "$daemon_pid" ] && { kill "$daemon_pid" 2>/dev/null || true; wait "$d
 go build -o "$bindir/lsgraphd" ./cmd/lsgraphd
 go build -o "$bindir/lsload" ./cmd/lsload
 
-"$bindir/lsgraphd" -addr "$addr" -shards "$shards" &
+# -autorebalance arms the background resharder, so the skewed T6 mix
+# exercises live boundary moves under open-loop load.
+"$bindir/lsgraphd" -addr "$addr" -shards "$shards" -autorebalance "$autoreb" &
 daemon_pid=$!
 
 # lsload polls /healthz before generating load, so no separate readiness

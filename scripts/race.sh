@@ -18,5 +18,6 @@ go test -race "$@" \
 	lsgraph/internal/trace \
 	lsgraph/internal/check \
 	lsgraph/internal/algo \
+	lsgraph/internal/gen \
 	lsgraph/internal/httpserve \
 	lsgraph

@@ -1,6 +1,9 @@
 package lsgraph
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestShardedGraphAndStoreEquivalence builds the same graph unsharded and
 // at several shard counts, through both the phase-alternating Graph and
@@ -67,4 +70,71 @@ func TestStoreAutoGrowPublic(t *testing.T) {
 	if got := BFS(v, 2); got[1000] != 2 {
 		t.Fatalf("BFS across grown space: parent[1000]=%d", got[1000])
 	}
+}
+
+// TestStoreRebalancePublic exercises the public rebalancing surface:
+// Partition introspection, an explicit Rebalance on a skewed store, and
+// kernel agreement with an unsharded baseline after the map changes.
+func TestStoreRebalancePublic(t *testing.T) {
+	const n = 2048
+	st := NewStore(n, WithShards(4))
+	defer st.Close()
+	// Skew: every source in the first shard's range.
+	var es []Edge
+	for i := uint32(0); i < 6000; i++ {
+		es = append(es, Edge{Src: i % 64, Dst: (i*31 + 1) % n})
+	}
+	st.InsertEdges(es)
+	st.Flush()
+
+	before := st.Partition()
+	if before.Epoch != 0 || len(before.Starts) != 4 {
+		t.Fatalf("initial partition %+v", before)
+	}
+	res, err := st.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves == 0 || res.SkewPctAfter > res.SkewPctBefore/2 {
+		t.Fatalf("rebalance ineffective: %+v", res)
+	}
+	if p := st.Partition(); p.Epoch == 0 {
+		t.Fatal("partition epoch did not advance")
+	}
+
+	base := NewFromEdges(n, es)
+	v := st.View()
+	defer v.Release()
+	if v.NumEdges() != base.NumEdges() {
+		t.Fatalf("rebalanced store has %d edges, baseline %d", v.NumEdges(), base.NumEdges())
+	}
+	want := ConnectedComponents(base)
+	got := ConnectedComponents(v)
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("CC label of %d differs after rebalance", u)
+		}
+	}
+}
+
+// TestStoreAutoRebalancePublic checks the WithAutoRebalance option end to
+// end: a skewed ingest stream triggers background boundary moves without
+// any explicit Rebalance call.
+func TestStoreAutoRebalancePublic(t *testing.T) {
+	st := NewStore(2048, WithShards(4), WithAutoRebalance(1.3))
+	defer st.Close()
+	var es []Edge
+	for i := uint32(0); i < 8000; i++ {
+		es = append(es, Edge{Src: i % 32, Dst: (i*17 + 1) % 2048})
+	}
+	st.InsertEdges(es)
+	st.Flush()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Stats().BoundaryMoves > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("auto-rebalancer never moved a boundary on a skewed store")
 }

@@ -41,7 +41,10 @@ func NewStore(n uint32, opts ...Option) *Store {
 	for _, o := range opts {
 		o(&s)
 	}
-	return &Store{st: serve.New(core.New(n, s.cfg), serve.Options{MaxQueue: s.maxQueue})}
+	return &Store{st: serve.New(core.New(n, s.cfg), serve.Options{
+		MaxQueue:      s.maxQueue,
+		AutoRebalance: s.autoRebalance,
+	})}
 }
 
 // InsertEdges enqueues a batch of edge insertions and returns immediately;
@@ -146,8 +149,31 @@ func (s *Store) Saturated() bool { return s.st.Saturated() }
 type StoreStats = serve.Stats
 
 // Stats returns a copy of the store's counters: batches applied, edges
-// enqueued, coalesced batches, snapshots published/reclaimed/reused.
+// enqueued, coalesced batches, snapshots published/reclaimed/reused, and
+// rebalance activity.
 func (s *Store) Stats() StoreStats { return s.st.Stats() }
+
+// RebalanceResult summarizes one Store.Rebalance call; see the field docs
+// in internal/serve.
+type RebalanceResult = serve.RebalanceResult
+
+// PartitionInfo is a point-in-time description of a Store's partition
+// map and per-shard load; see the field docs in internal/serve.
+type PartitionInfo = serve.PartitionInfo
+
+// Rebalance re-partitions the vertex space toward equal per-shard edge
+// mass, moving contiguous vertex ranges between adjacent shards. Reads
+// and writers for unaffected shards proceed throughout; each boundary
+// move quiesces only the two shard writers it touches. Views pinned
+// before the call keep reading their pre-rebalance state until released.
+// On a single-shard store it returns an empty result. Concurrent calls
+// serialize; each sees the previous call's layout.
+func (s *Store) Rebalance() (RebalanceResult, error) { return s.st.Rebalance() }
+
+// Partition returns the store's current partition map and per-shard load:
+// map epoch, range starts, stored edge mass, routed-edge counters, and
+// the skew gauge the auto-rebalancer watches.
+func (s *Store) Partition() PartitionInfo { return s.st.Partition() }
 
 // StoreView is an epoch-pinned, immutable view of a Store: one pinned
 // snapshot per shard, composed behind the Reader interface. It implements
