@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify bench bench-analytics soak fuzz trace-demo loadtest clean
+.PHONY: all build test race verify bench bench-analytics soak soak-recover fuzz trace-demo loadtest bench-recover clean
 
 all: build
 
@@ -67,6 +67,22 @@ bench-analytics:
 export LOADTEST_TIME LOADTEST_RATE LOADTEST_MIX LOADTEST_SHARDS LOADTEST_ADDR
 loadtest:
 	sh scripts/loadtest.sh pr9
+
+# Long-running kill-and-recover sweep: 150 seeded crash scenarios (50
+# seeds x 3 shard counts, crash points drawn from the full lifecycle
+# matrix), each recovered and differentially checked against the
+# acked-records oracle.
+soak-recover:
+	LSGRAPH_SOAK_RECOVER=1 \
+		$(GO) test -count=1 -run '^TestSoakRecover$$' -timeout 0 -v ./internal/check
+
+# Durability benchmark: WAL ingest overhead per fsync policy vs the
+# memory-only baseline, plus recovery speed (full replay and
+# checkpoint-bounded). Writes BENCH_pr10.json; the acceptance bar is
+# <10% ingest overhead at fsync=interval. Tune repetitions with TRIALS.
+TRIALS ?= 3
+bench-recover:
+	$(GO) run ./cmd/lsbench -exp recover -trials $(TRIALS) -json BENCH_pr10.json -tag pr10
 
 clean:
 	$(GO) clean ./...

@@ -8,7 +8,9 @@
 //	lsbench -exp prepare            # prepare-pipeline phase breakdown vs workers
 //	lsbench -exp mixed              # concurrent ingest + analytics on a Store
 //	lsbench -exp sharded            # ingest scaling across shard writer pipelines
+//	lsbench -exp recover            # WAL ingest overhead + recovery speed
 //	lsbench -scale 14 -trials 5     # bigger graphs, more repetitions
+//	lsbench -json out.json -tag pr10  # also write recorded metrics as JSON
 //	lsbench -quick                  # smallest useful scale (~1 minute)
 //	lsbench -list                   # list experiment names
 //
@@ -36,6 +38,8 @@ func main() {
 		batches = flag.String("batches", "", "comma-separated batch sizes (default per scale)")
 		quick   = flag.Bool("quick", false, "use the quick scale preset")
 		list    = flag.Bool("list", false, "list experiment names and exit")
+		jsonO   = flag.String("json", "", "write metrics recorded by the experiments to this file in the BENCH_<tag>.json {tag, unit, benchmarks} shape")
+		tag     = flag.String("tag", "dev", "tag field for -json output")
 		metrics = flag.String("metrics", "", "serve Prometheus /metrics, /metrics.json, /debug/pprof and /debug/trace on this address while experiments run; implies metric collection")
 		obsDump = flag.Bool("obsdump", false, "enable metric collection and print a JSON metrics snapshot on exit")
 		traceO  = flag.String("trace", "", "record the batch-lifecycle flight recorder across all experiments and write Chrome trace-event JSON (load in ui.perfetto.dev) to this file on exit")
@@ -104,6 +108,18 @@ func main() {
 		if err := bench.Run(name, s, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "lsbench:", err)
 			os.Exit(1)
+		}
+	}
+
+	if *jsonO != "" {
+		if b := bench.MetricsJSON(*tag); b == nil {
+			fmt.Fprintf(os.Stderr, "lsbench: -json: no experiment recorded metrics (only some do, e.g. recover)\n")
+			os.Exit(1)
+		} else if err := os.WriteFile(*jsonO, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "lsbench:", err)
+			os.Exit(1)
+		} else {
+			fmt.Printf("metrics written to %s\n", *jsonO)
 		}
 	}
 

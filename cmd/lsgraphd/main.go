@@ -8,6 +8,9 @@
 //	lsgraphd                                  # serve :7420, auto-create graphs
 //	lsgraphd -addr :7420 -shards 4 -queue 64  # defaults for created graphs
 //	lsgraphd -graphs social:8,metrics         # pre-create graphs (name[:shards[:queue]])
+//	lsgraphd -data /var/lib/lsgraph           # durable graphs: WAL + checkpoints + recovery
+//	lsgraphd -data d -fsync always            # fsync every WAL append (none|interval|always)
+//	lsgraphd -data d -checkpoint-every 100000 # auto-checkpoint every N logged batches
 //	lsgraphd -obs=false                       # disable metric collection
 //	lsgraphd -trace run.json -tracemode tail  # flight recorder across the run
 //
@@ -25,13 +28,21 @@
 //	GET  /v1/graphs/{g}/khop?src=V&depth=K      bounded traversal
 //	POST /v1/graphs/{g}/kernels/{bfs|pagerank|cc}  analytics on a pinned view
 //	POST /v1/graphs/{g}/rebalance               reshard toward equal edge mass
+//	POST /v1/graphs/{g}/checkpoint              durable snapshot + WAL GC (-data only)
 //	GET  /metrics, /metrics.json                Prometheus / JSON metrics
 //	GET  /debug/pprof/*, /debug/trace{,/autopsy}   profiling and flight recorder
+//
+// Durability: with -data, every graph writes accepted batches to a
+// per-shard write-ahead log under <data>/<graph> before applying them,
+// and the next boot recovers each graph from its newest checkpoint plus
+// WAL replay (logged on startup and reported by /healthz). Without -data
+// graphs are memory-only, as before.
 //
 // Shutdown: on SIGINT/SIGTERM the daemon stops accepting connections,
 // waits up to -drain for in-flight requests, then closes every store —
 // which applies and publishes all queued batches, so every 202-accepted
-// batch is visible before exit.
+// batch is visible before exit. With -data each graph is additionally
+// checkpointed on the way out, so a clean restart replays no WAL.
 package main
 
 import (
@@ -64,6 +75,10 @@ func main() {
 		kernels  = flag.Int("kernels", 4, "max concurrently running kernel requests (excess shed with 429)")
 		maxBody  = flag.Int64("maxbody", 64<<20, "max ingest request body in bytes (larger rejected with 413)")
 		autoReb  = flag.Float64("autorebalance", 0, "auto-rebalance skew threshold for created graphs (e.g. 1.5 = act at 50% over fair share; 0 disables)")
+		dataDir  = flag.String("data", "", "durability directory: WAL + checkpoints per graph, recovered on boot (empty = memory-only)")
+		fsync    = flag.String("fsync", "interval", "WAL fsync policy with -data: none | interval | always")
+		fsyncIv  = flag.Duration("fsync-interval", 50*time.Millisecond, "group-commit period for -fsync interval")
+		ckptN    = flag.Int("checkpoint-every", 0, "auto-checkpoint a graph every N logged batches with -data (0 = explicit/shutdown only)")
 		obsOn    = flag.Bool("obs", true, "enable metric collection (serves /metrics either way)")
 		traceO   = flag.String("trace", "", "record the flight recorder and write Chrome trace-event JSON here on exit")
 		traceMd  = flag.String("tracemode", "all", "flight-recorder sampling policy: all | sample=N | tail")
@@ -85,7 +100,7 @@ func main() {
 		lsgraph.SetTraceMode(m, n)
 	}
 
-	srv := httpserve.New(httpserve.Config{
+	srv, err := httpserve.Open(httpserve.Config{
 		DefaultVertices: uint32(*vertices),
 		DefaultShards:   *shards,
 		DefaultMaxQueue: *queue,
@@ -94,7 +109,25 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 
 		DefaultAutoRebalance: *autoReb,
+
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		FsyncInterval:   *fsyncIv,
+		CheckpointEvery: *ckptN,
 	})
+	if err != nil {
+		log.Fatalf("open data dir: %v", err)
+	}
+	for _, name := range srv.GraphNames() {
+		// Graphs present before any -graphs pre-creation were recovered
+		// from -data; say what each recovery cost and carried.
+		if st := srv.Store(name); st != nil {
+			r := st.Recovery()
+			log.Printf("recovered graph %q: checkpoint=%v (%d edges), replayed %d records (%d edges) from %d segments, truncated %d torn tails, %.1fms",
+				name, r.CheckpointLoaded, r.CheckpointEdges, r.ReplayedRecords, r.ReplayedEdges,
+				r.Segments, r.TruncatedSegments, float64(r.DurationNanos)/1e6)
+		}
+	}
 	for _, spec := range strings.Split(*graphs, ",") {
 		if spec = strings.TrimSpace(spec); spec == "" {
 			continue

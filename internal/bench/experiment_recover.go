@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"lsgraph/internal/core"
+	"lsgraph/internal/gen"
+	"lsgraph/internal/serve"
+	"lsgraph/internal/wal"
+)
+
+// recoverBatches is the number of streamed update batches per ingest run
+// in the durability experiment.
+const recoverBatches = 64
+
+// Recover measures what durability costs and what recovery buys: the same
+// Zipf ingest stream is run against a memory-only store and against
+// WAL-backed stores at every fsync policy, reporting ingest throughput and
+// its overhead over the memory baseline (the acceptance bar is <10% at
+// fsync=interval, the group-commit default). Each WAL run then recovers:
+// a reopen replays the full log (replay records/second and wall time),
+// and a reopen after a checkpoint loads the snapshot alone — the column
+// pair that shows checkpoints bounding recovery time.
+func Recover(s Scale, w io.Writer) {
+	t := NewTable("Durability: WAL ingest overhead and recovery speed by fsync policy",
+		"Zipf(1.0) stream, 2 concurrent producers into 2 shard writers; overhead is vs the memory-only baseline (acceptance: <10% at fsync=interval); recover-ms is a cold reopen replaying the whole log, ckpt-recover-ms a reopen after a checkpoint.",
+		"mode", "ingest-eps", "overhead%", "wal-MB", "recover-ms", "replayed", "replay-eps", "ckpt-recover-ms")
+
+	n := uint32(1) << s.Base
+	batch := 0
+	for _, c := range s.BatchSizes {
+		if batch < c {
+			batch = c
+		}
+	}
+	if batch > int(n) {
+		batch = int(n)
+	}
+
+	// Interleave the baseline with every WAL mode inside each trial, so
+	// environment noise (page-cache writeback, CPU contention) lands on
+	// all of them equally instead of biasing whichever mode ran during a
+	// flush storm.
+	modes := []struct {
+		name  string
+		fsync wal.FsyncPolicy
+	}{
+		{"wal-none", wal.FsyncNone},
+		{"wal-interval", wal.FsyncInterval},
+		{"wal-always", wal.FsyncAlways},
+	}
+	trials := s.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	var memTotal time.Duration
+	walTotal := make([]time.Duration, len(modes))
+	dirs := make([]string, len(modes))
+	for i := range modes {
+		dir, err := os.MkdirTemp("", "lsgraph-bench-recover-*")
+		if err != nil {
+			panic("bench: temp dir: " + err.Error())
+		}
+		dirs[i] = dir
+	}
+	for trial := 0; trial < trials; trial++ {
+		memTotal += oneIngest(trial, serve.New(core.New(n, core.Config{Workers: s.Workers, Shards: 2}), serve.Options{}), n, batch)
+		for i, mode := range modes {
+			os.RemoveAll(dirs[i])
+			st, err := serve.OpenDurable(n, core.Config{Workers: s.Workers, Shards: 2},
+				serve.Options{}, serve.DurabilityOptions{Dir: dirs[i], Fsync: mode.fsync})
+			if err != nil {
+				panic("bench: open durable store: " + err.Error())
+			}
+			walTotal[i] += oneIngest(trial, st, n, batch)
+		}
+	}
+	memEPS := throughput(batch*recoverBatches*trials, memTotal)
+	t.Row("memory", memEPS, 0.0, "-", "-", "-", "-", "-")
+	RecordMetric("recover/memory/ingest_eps", memEPS)
+
+	for i, mode := range modes {
+		dir := dirs[i]
+		eps := throughput(batch*recoverBatches*trials, walTotal[i])
+		overhead := 0.0
+		if eps > 0 {
+			overhead = (memEPS/eps - 1) * 100
+		}
+
+		// Cold recovery: reopen the last run's directory and replay the
+		// whole log; the store self-reports what that cost.
+		st, err := serve.OpenDurable(n, core.Config{Workers: s.Workers, Shards: 2},
+			serve.Options{}, serve.DurabilityOptions{Dir: dir})
+		if err != nil {
+			panic("bench: recover: " + err.Error())
+		}
+		walMB := float64(dirBytes(dir)) / (1 << 20)
+		r := st.Recovery()
+		recoverMS := float64(r.DurationNanos) / 1e6
+		replayEPS := 0.0
+		if r.DurationNanos > 0 {
+			replayEPS = float64(r.ReplayedEdges) / (float64(r.DurationNanos) / 1e9)
+		}
+
+		// Checkpoint, then prove the next recovery loads the snapshot and
+		// replays nothing.
+		if err := st.Checkpoint(); err != nil {
+			panic("bench: checkpoint: " + err.Error())
+		}
+		st.Close()
+		t0 := time.Now()
+		st2, err := serve.OpenDurable(n, core.Config{Workers: s.Workers, Shards: 2},
+			serve.Options{}, serve.DurabilityOptions{Dir: dir})
+		if err != nil {
+			panic("bench: recover from checkpoint: " + err.Error())
+		}
+		ckptMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+		st2.Close()
+		os.RemoveAll(dir)
+
+		t.Row(mode.name, eps, overhead, walMB, recoverMS, r.ReplayedRecords, replayEPS, ckptMS)
+		RecordMetric("recover/"+mode.name+"/ingest_eps", eps)
+		RecordMetric("recover/"+mode.name+"/overhead_pct", overhead)
+		RecordMetric("recover/"+mode.name+"/recover_ms", recoverMS)
+		RecordMetric("recover/"+mode.name+"/replayed_records", float64(r.ReplayedRecords))
+		RecordMetric("recover/"+mode.name+"/replay_eps", replayEPS)
+		RecordMetric("recover/"+mode.name+"/ckpt_recover_ms", ckptMS)
+	}
+	t.WriteTo(w)
+}
+
+// recoverProducers is the concurrent ingest fan-in of the durability
+// experiment: like the HTTP front-end's handlers, several goroutines
+// enqueue at once, so one producer's WAL write overlaps another's
+// scatter instead of serializing the whole stream behind each syscall.
+const recoverProducers = 2
+
+// oneIngest streams recoverBatches Zipf batches through st from
+// recoverProducers concurrent producers and returns the wall time,
+// first enqueue to publish of the last batch. Close (which for durable
+// stores seals the WAL) is outside the timed window, matching what an
+// accepted-batch SLA measures.
+func oneIngest(trial int, st *serve.Store, n uint32, batch int) time.Duration {
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < recoverProducers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			z := gen.NewZipf(n, 1.0, 7+uint64(trial*recoverProducers+p))
+			for k := 0; k < recoverBatches/recoverProducers; k++ {
+				bs, bd := z.Batch(batch)
+				st.InsertBatch(bs, bd)
+			}
+		}(p)
+	}
+	wg.Wait()
+	st.Flush()
+	d := time.Since(t0)
+	st.Close()
+	return d
+}
+
+// dirBytes sums regular-file sizes under dir, one level of shard
+// subdirectories deep — the on-disk WAL+checkpoint footprint.
+func dirBytes(dir string) int64 {
+	var total int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			total += dirBytes(dir + string(os.PathSeparator) + e.Name())
+			continue
+		}
+		if fi, err := e.Info(); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}

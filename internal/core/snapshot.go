@@ -133,6 +133,13 @@ func ComposeSnapshots(parts []*Snapshot, bases []uint32, n uint32) *Snapshot {
 	return s
 }
 
+// CSR exposes the snapshot's raw offset and adjacency arrays (offs has
+// NumVertices+1 entries; adj holds NumEdges neighbor IDs). Both alias
+// snapshot storage: read-only, and only valid while the snapshot is —
+// for an epoch-pinned serving snapshot, until its view is released. The
+// durability layer serializes checkpoints from it without copying.
+func (s *Snapshot) CSR() (offs []uint64, adj []uint32) { return s.offs, s.adj }
+
 // NumVertices returns the snapshot's vertex count.
 func (s *Snapshot) NumVertices() uint32 { return uint32(len(s.offs) - 1) }
 

@@ -1,0 +1,116 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lsgraph"
+)
+
+// graphConfigFile is the per-graph config record written next to a durable
+// graph's WAL and checkpoints. Open reads it to re-create the graph with
+// the exact configuration it was created with.
+const graphConfigFile = "graph.json"
+
+// Open returns a Server like New and, when cfg.DataDir is set, recovers
+// every graph previously persisted there: each DataDir subdirectory with a
+// graph.json is re-created with its recorded config, which replays its WAL
+// and loads its newest checkpoint through the store's recovery path. With
+// no DataDir it is equivalent to New and cannot fail.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if s.cfg.DataDir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		gc, err := readGraphConfig(filepath.Join(s.cfg.DataDir, e.Name()))
+		if os.IsNotExist(err) {
+			continue // not a graph directory
+		}
+		if err != nil {
+			return nil, fmt.Errorf("recover graph %q: %w", e.Name(), err)
+		}
+		if _, _, err := s.CreateGraph(e.Name(), gc); err != nil {
+			return nil, fmt.Errorf("recover graph %q: %w", e.Name(), err)
+		}
+	}
+	return s, nil
+}
+
+// Durable reports whether the server persists graphs under a data
+// directory.
+func (s *Server) Durable() bool { return s.cfg.DataDir != "" }
+
+// graphDir is the named graph's durability directory under DataDir.
+func (s *Server) graphDir(name string) string {
+	return filepath.Join(s.cfg.DataDir, name)
+}
+
+// openStore builds the named graph's store from its resolved config —
+// durable under DataDir/name when the server has a data directory, with
+// the graph config persisted beside the WAL for rediscovery by Open.
+func (s *Server) openStore(name string, gc GraphConfig) (*lsgraph.Store, error) {
+	opts := []lsgraph.Option{
+		lsgraph.WithShards(gc.Shards),
+		lsgraph.WithMaxQueue(gc.MaxQueue),
+		lsgraph.WithAutoRebalance(gc.AutoRebalance),
+	}
+	if s.cfg.DataDir != "" {
+		opts = append(opts, lsgraph.WithDurability(s.graphDir(name), lsgraph.DurabilityOptions{
+			Fsync:           s.cfg.Fsync,
+			FsyncInterval:   s.cfg.FsyncInterval,
+			CheckpointEvery: s.cfg.CheckpointEvery,
+		}))
+	}
+	st, err := lsgraph.OpenStore(gc.Vertices, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.DataDir != "" {
+		if err := writeGraphConfig(s.graphDir(name), gc); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// readGraphConfig loads dir/graph.json.
+func readGraphConfig(dir string) (GraphConfig, error) {
+	b, err := os.ReadFile(filepath.Join(dir, graphConfigFile))
+	if err != nil {
+		return GraphConfig{}, err
+	}
+	var gc GraphConfig
+	if err := json.Unmarshal(b, &gc); err != nil {
+		return GraphConfig{}, err
+	}
+	return gc, nil
+}
+
+// writeGraphConfig records the resolved config as dir/graph.json via
+// tmp+rename, so a crash mid-write never leaves a half-written config for
+// Open to trip on.
+func writeGraphConfig(dir string, gc GraphConfig) error {
+	b, err := json.MarshalIndent(gc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, graphConfigFile+".tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, graphConfigFile))
+}

@@ -19,8 +19,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	// Partition-map introspection per graph: epoch, range starts, and the
 	// live skew gauge, so operators can see a resharding take effect (or
-	// the need for one) from the health probe alone.
+	// the need for one) from the health probe alone. Durable graphs also
+	// report what the last boot recovered, so "did the restart replay the
+	// WAL?" is answerable from the health probe too.
 	parts := map[string]any{}
+	recov := map[string]any{}
 	for _, n := range s.GraphNames() {
 		if st := s.store(n); st != nil {
 			p := st.Partition()
@@ -29,12 +32,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				"starts":   p.Starts,
 				"skew_pct": p.SkewPct,
 			}
+			if st.Durable() {
+				recov[n] = st.Recovery()
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"graphs":     len(parts),
 		"partitions": parts,
+		"durable":    s.Durable(),
+		"recovery":   recov,
 	})
 }
 
@@ -51,11 +59,15 @@ type graphSummary struct {
 	Saturated  bool                  `json:"saturated"`
 	Stats      lsgraph.StoreStats    `json:"stats"`
 	Partition  lsgraph.PartitionInfo `json:"partition"`
+	Durable    bool                  `json:"durable"`
+	// Recovery is what the store's last open loaded and replayed; nil on
+	// an in-memory graph.
+	Recovery *lsgraph.RecoveryStats `json:"recovery,omitempty"`
 }
 
 func summarize(t *tenant) graphSummary {
 	st := t.store
-	return graphSummary{
+	gs := graphSummary{
 		Name:       t.name,
 		Vertices:   st.NumVertices(),
 		Edges:      st.NumEdges(),
@@ -66,7 +78,13 @@ func summarize(t *tenant) graphSummary {
 		Saturated:  st.Saturated(),
 		Stats:      st.Stats(),
 		Partition:  st.Partition(),
+		Durable:    st.Durable(),
 	}
+	if gs.Durable {
+		r := st.Recovery()
+		gs.Recovery = &r
+	}
+	return gs
 }
 
 // handleListGraphs returns every registered graph's summary.
@@ -494,6 +512,48 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		"graph":     t.name,
 		"result":    res,
 		"partition": t.store.Partition(),
+	})
+}
+
+// handleCheckpoint publishes a durable checkpoint of the named graph and
+// garbage-collects the WAL segments it covers, bounding how much the next
+// recovery must replay. It flushes first so the checkpoint covers every
+// batch accepted before the call. Like rebalance it is admitted through
+// the kernel semaphore: snapshot serialization is a bounded-concurrency
+// heavyweight, not a query. 409 on an in-memory graph.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	t, err := s.lookup(r.PathValue("graph"), false)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if !t.store.Durable() {
+		writeError(w, http.StatusConflict, "graph %q is not durable (server has no -data dir)", t.name)
+		return
+	}
+	release, ok := s.admitKernel(w)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	t.store.Flush()
+	if err := t.store.Checkpoint(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := t.store.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":         t.name,
+		"epoch":         t.store.Epoch(),
+		"checkpoints":   st.Checkpoints,
+		"segments_gced": st.SegmentsGCed,
+		"wal_records":   st.WALRecords,
+		"wal_bytes":     st.WALBytes,
+		"nanos":         time.Since(start).Nanoseconds(),
 	})
 }
 

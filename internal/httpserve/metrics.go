@@ -8,15 +8,16 @@ import "lsgraph/internal/obs"
 // family: multiple Server instances in one process (tests) share the
 // series, and registration happens exactly once.
 var (
-	obsRouteHealthz   = obs.NewHTTPMetrics("healthz")
-	obsRouteGraphs    = obs.NewHTTPMetrics("graphs")
-	obsRouteIngest    = obs.NewHTTPMetrics("ingest")
-	obsRouteFlush     = obs.NewHTTPMetrics("flush")
-	obsRouteDegree    = obs.NewHTTPMetrics("degree")
-	obsRouteNeighbors = obs.NewHTTPMetrics("neighbors")
-	obsRouteKhop      = obs.NewHTTPMetrics("khop")
-	obsRouteKernel    = obs.NewHTTPMetrics("kernel")
-	obsRouteRebalance = obs.NewHTTPMetrics("rebalance")
+	obsRouteHealthz    = obs.NewHTTPMetrics("healthz")
+	obsRouteGraphs     = obs.NewHTTPMetrics("graphs")
+	obsRouteIngest     = obs.NewHTTPMetrics("ingest")
+	obsRouteFlush      = obs.NewHTTPMetrics("flush")
+	obsRouteDegree     = obs.NewHTTPMetrics("degree")
+	obsRouteNeighbors  = obs.NewHTTPMetrics("neighbors")
+	obsRouteKhop       = obs.NewHTTPMetrics("khop")
+	obsRouteKernel     = obs.NewHTTPMetrics("kernel")
+	obsRouteRebalance  = obs.NewHTTPMetrics("rebalance")
+	obsRouteCheckpoint = obs.NewHTTPMetrics("checkpoint")
 
 	// obsGraphs tracks the number of registered named graphs.
 	obsGraphs = obs.NewGauge("lsgraph_http_graphs",

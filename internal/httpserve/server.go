@@ -31,10 +31,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"regexp"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lsgraph"
 	"lsgraph/internal/obs"
@@ -74,6 +76,21 @@ type Config struct {
 	// the default, leaves background rebalancing off; the explicit
 	// rebalance endpoint works either way.
 	DefaultAutoRebalance float64
+	// DataDir, when set, makes every graph durable: graph g's write-ahead
+	// log and checkpoints live under DataDir/g next to a graph.json
+	// recording its config, and Open recovers every graph found there.
+	// Empty (the default) keeps all graphs in memory only.
+	DataDir string
+	// Fsync is the WAL group-commit policy for durable graphs: "none",
+	// "interval" (the default), or "always". See lsgraph.DurabilityOptions.
+	Fsync string
+	// FsyncInterval is the group-commit period for Fsync == "interval"
+	// (default 50ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery, when > 0, auto-checkpoints each durable graph every
+	// that many WAL records, bounding recovery replay and WAL disk usage.
+	// 0 checkpoints only on the explicit endpoint and at shutdown.
+	CheckpointEvery int
 }
 
 func (c *Config) sanitize() {
@@ -188,14 +205,11 @@ func (s *Server) CreateGraph(name string, gc GraphConfig) (resolved GraphConfig,
 		}
 		return t.cfg, false, nil
 	}
-	t := &tenant{
-		name: name,
-		cfg:  gc,
-		store: lsgraph.NewStore(gc.Vertices,
-			lsgraph.WithShards(gc.Shards),
-			lsgraph.WithMaxQueue(gc.MaxQueue),
-			lsgraph.WithAutoRebalance(gc.AutoRebalance)),
+	st, err := s.openStore(name, gc)
+	if err != nil {
+		return GraphConfig{}, false, fmt.Errorf("open graph %q: %v", name, err)
 	}
+	t := &tenant{name: name, cfg: gc, store: st}
 	s.graphs[name] = t
 	obsGraphs.Set(int64(len(s.graphs)))
 	return gc, true, nil
@@ -227,6 +241,11 @@ func (s *Server) lookup(name string, create bool) (*tenant, error) {
 	return nil, fmt.Errorf("graph %q not found", name)
 }
 
+// Store returns the named graph's Store, or nil when the graph does not
+// exist. lsgraphd uses it to log what each recovered graph's boot cost;
+// callers must not Close the returned store — the Server owns it.
+func (s *Server) Store(name string) *lsgraph.Store { return s.store(name) }
+
 // store returns the named graph's Store, or nil. Tests use it for
 // differential checks against the oracle.
 func (s *Server) store(name string) *lsgraph.Store {
@@ -239,7 +258,9 @@ func (s *Server) store(name string) *lsgraph.Store {
 }
 
 // DropGraph closes and removes the named graph, draining its queued
-// batches first (Store.Close applies everything before returning). It
+// batches first (Store.Close applies everything before returning). On a
+// durable server the graph's data directory — WAL, checkpoints, config —
+// is deleted too: a dropped graph does not resurrect at the next boot. It
 // reports whether the graph existed.
 func (s *Server) DropGraph(name string) bool {
 	s.mu.Lock()
@@ -249,6 +270,9 @@ func (s *Server) DropGraph(name string) bool {
 	s.mu.Unlock()
 	if ok {
 		t.store.Close()
+		if s.cfg.DataDir != "" {
+			os.RemoveAll(s.graphDir(name))
+		}
 	}
 	return ok
 }
@@ -286,6 +310,15 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	for _, t := range ts {
+		if t.store.Durable() {
+			// Checkpoint on clean shutdown so the next boot bulk-loads a
+			// snapshot instead of replaying the whole WAL. Flush first so the
+			// checkpoint covers every accepted batch; if the checkpoint
+			// fails the WAL still holds everything, so the error only costs
+			// recovery time.
+			t.store.Flush()
+			_ = t.store.Checkpoint()
+		}
 		t.store.Close()
 	}
 }
@@ -312,6 +345,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/graphs/{graph}/khop", obsRouteKhop, s.handleKhop)
 	route("POST /v1/graphs/{graph}/kernels/{kernel}", obsRouteKernel, s.handleKernel)
 	route("POST /v1/graphs/{graph}/rebalance", obsRouteRebalance, s.handleRebalance)
+	route("POST /v1/graphs/{graph}/checkpoint", obsRouteCheckpoint, s.handleCheckpoint)
 
 	oh := obs.Handler(obs.Default)
 	mux.Handle("/metrics", oh)

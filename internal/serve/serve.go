@@ -80,6 +80,7 @@ import (
 	"lsgraph/internal/engine"
 	"lsgraph/internal/obs"
 	"lsgraph/internal/trace"
+	"lsgraph/internal/wal"
 )
 
 // Options configures a Store.
@@ -141,6 +142,7 @@ type pending struct {
 	bound    uint32
 	batch    uint64        // flight-recorder batch ID (0 when tracing is off)
 	enq      int64         // trace-timeline enqueue timestamp; 0 when obs and tracing are off
+	lsn      uint64        // highest WAL LSN this entry covers (0 when durability is off)
 	done     chan struct{} // flush sentinel only
 	reb      *rebalanceOp  // rebalance control entry only
 }
@@ -152,11 +154,16 @@ type pending struct {
 // start and the partition-map epoch it was published under: readers
 // compare mapEpoch against their captured map's RangeEpoch to reject
 // mixed map/snapshot states during a boundary move (see rebalance.go).
+// lsn records the shard writer's applied-LSN watermark at publish time:
+// every WAL record of this shard's log with an LSN at or below it is
+// reflected in snap, and none above it are. It is what makes a pinned
+// snapshot a durable cut a checkpoint can anchor replay to (durable.go).
 type epochSnap struct {
 	snap     *core.Snapshot
 	epoch    uint64
 	base     uint32
 	mapEpoch uint64
+	lsn      uint64
 	refs     atomic.Int64
 }
 
@@ -187,6 +194,13 @@ type shardWriter struct {
 	// drained snapshots retained for buffer reuse.
 	retired []*epochSnap
 	free    []*core.Snapshot
+
+	// appliedLSN is the highest WAL LSN among batches this writer has
+	// applied. Written by the writer goroutine before each publish and read
+	// by buildSnap — writer-owned like retired/free (the rebalance executor
+	// reads it only while both affected writers are parked, the same
+	// happens-before argument that makes touching free safe there).
+	appliedLSN uint64
 }
 
 // Store is the sharded-writer / multi-reader serving layer over one
@@ -234,6 +248,12 @@ type Store struct {
 	// always-on load signal the rebalance policy reads (unlike the obs
 	// gauges, which are off by default).
 	routed []atomic.Uint64
+
+	// dur is the durability state (WAL + checkpoints), nil for a purely
+	// in-memory Store. Set before the Store is visible to callers
+	// (New via OpenDurable); the log handle inside it is attached only
+	// after recovery replay, so replayed batches are never re-logged.
+	dur *durability
 
 	autoStop chan struct{} // closes to stop the auto-rebalancer
 	autoDone chan struct{} // closed when the auto-rebalancer exits
@@ -365,6 +385,9 @@ func (s *Store) enqueue(op int, src, dst []uint32) {
 		if batch != 0 {
 			trace.Span(trace.PhaseEnqueue, -1, batch, 0, uint64(len(src)), enq)
 		}
+		if d := s.dur; d != nil {
+			d.maybeAutoCheckpoint(s)
+		}
 		return
 	}
 	// The whole scatter+append section runs under rebMu's read lock: a
@@ -394,6 +417,9 @@ func (s *Store) enqueue(op int, src, dst []uint32) {
 	s.rebMu.RUnlock()
 	if batch != 0 {
 		trace.Span(trace.PhaseEnqueue, -1, batch, 0, uint64(len(src)), enq)
+	}
+	if d := s.dur; d != nil {
+		d.maybeAutoCheckpoint(s)
 	}
 }
 
@@ -429,16 +455,36 @@ func (w *shardWriter) enqueue(op int, src, dst []uint32, bound uint32, batch uin
 		w.mu.Unlock()
 		panic("serve: update on closed Store")
 	}
+	// Reserve the batch's WAL slot before it is queued, under the same
+	// lock, so each shard's WAL order equals its queue (= apply) order;
+	// the write syscall itself runs after the queue lock is released (the
+	// slot holds the shard log locked until then, so nothing can slip in
+	// between and stall-free dequeues continue meanwhile). An append
+	// error (disk full, injected crash) does not fail the enqueue: the
+	// store keeps serving in memory and surfaces degraded durability
+	// through Stats.WALAppendErrors.
+	var lsn uint64
+	var app wal.Appender
+	if d := w.s.dur; d != nil && d.log != nil {
+		app = d.log.Begin(w.idx, walOp(op), batch, src, dst)
+		lsn = app.LSN()
+		d.sinceCkpt.Add(1)
+	}
 	if n := len(w.queue); n >= w.s.opt.MaxQueue && w.queue[n-1].op == op {
 		// Backpressure: merge into the newest queued batch of the same op
 		// rather than growing the queue or blocking the caller. The merged
 		// entry keeps its own batch ID and enqueue timestamp: its oldest
 		// edges are the ones whose visibility lag the measurement is after.
+		// It takes the max LSN: the merged application covers both records,
+		// and all earlier LSNs of this shard are already queued ahead of it.
 		last := &w.queue[n-1]
 		last.src = append(last.src, src...)
 		last.dst = append(last.dst, dst...)
 		if bound > last.bound {
 			last.bound = bound
+		}
+		if lsn > last.lsn {
+			last.lsn = lsn
 		}
 		w.s.stats.coalescedBatches.Add(1)
 		if obs.Enabled() {
@@ -446,11 +492,17 @@ func (w *shardWriter) enqueue(op int, src, dst []uint32, bound uint32, batch uin
 		}
 		trace.Instant(trace.PhaseCoalesce, w.idx, last.batch, uint64(len(src)))
 	} else {
-		w.queue = append(w.queue, pending{op: op, src: src, dst: dst, bound: bound, batch: batch, enq: enq})
+		w.queue = append(w.queue, pending{op: op, src: src, dst: dst, bound: bound, batch: batch, enq: enq, lsn: lsn})
 		w.s.queued.Add(1)
 	}
 	depth := len(w.queue)
 	w.mu.Unlock()
+	// Completing the reserved write here, before returning, preserves the
+	// acknowledgement contract: by the time the caller sees the enqueue
+	// return, the record is in the OS page cache (and fsynced under
+	// FsyncAlways), and Flush's SyncAll orders behind it via the shard
+	// log lock held since Begin.
+	_, _ = app.Commit()
 	if obs.Enabled() {
 		obsQueueDepth.Set(w.s.queued.Load())
 		obsShardQueueDepth.Set(w.idx, int64(depth))
@@ -498,6 +550,11 @@ func (s *Store) Flush() {
 			<-ch
 		}
 	}
+	// Flush is also the durability barrier: every acknowledged batch is
+	// fsynced before return, regardless of the group-commit policy.
+	if d := s.dur; d != nil && d.log != nil {
+		d.log.SyncAll()
+	}
 }
 
 // Close drains every shard's queue, applies and publishes any remaining
@@ -521,6 +578,18 @@ func (s *Store) Close() {
 		w.signal()
 	}
 	<-s.done
+	// Seal the WAL after the writers have drained: every logged record has
+	// been applied, and Close's final sync makes them all durable. Close
+	// does not checkpoint — reopening replays the log — so a clean
+	// shutdown that wants a fast restart calls Checkpoint first. Taking
+	// ckptMu waits out any in-flight checkpoint (auto or explicit), so no
+	// background writer touches the directory after Close returns; a
+	// checkpoint that has not locked yet bails on the closed re-check.
+	if d := s.dur; d != nil && d.log != nil {
+		d.ckptMu.Lock()
+		d.ckptMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+		d.log.Close()
+	}
 }
 
 // run is a shard writer's goroutine: it applies this shard's updates and
@@ -586,6 +655,9 @@ func (w *shardWriter) run() {
 				obsApplied.Inc()
 				obsShardApplied.AddShard(w.idx, 1)
 			}
+			if b.lsn > w.appliedLSN {
+				w.appliedLSN = b.lsn
+			}
 			w.publish(b.batch)
 			if b.enq != 0 {
 				// The batch is now reader-visible: close the end-to-end
@@ -645,6 +717,7 @@ func (w *shardWriter) buildSnap() *epochSnap {
 		epoch:    next,
 		base:     w.shard.Base(),
 		mapEpoch: w.s.g.PartitionMap().Epoch,
+		lsn:      w.appliedLSN,
 	}
 }
 
@@ -1045,11 +1118,27 @@ type Stats struct {
 	// MovedEdges counts directed edges that changed owner across all
 	// boundary moves.
 	MovedEdges uint64
+	// WALRecords counts shard-batch records appended to the write-ahead
+	// log (0 on a non-durable store, like every WAL* field below).
+	WALRecords uint64
+	// WALBytes counts framed bytes written to WAL segments.
+	WALBytes uint64
+	// WALFsyncs counts fsync calls on WAL segments.
+	WALFsyncs uint64
+	// WALAppendErrors counts batches that could not be logged (I/O error);
+	// the store kept applying them in memory, so a non-zero value means
+	// durability is degraded until the next successful checkpoint.
+	WALAppendErrors uint64
+	// Checkpoints counts published checkpoints.
+	Checkpoints uint64
+	// SegmentsGCed counts WAL segments deleted after a checkpoint covered
+	// them.
+	SegmentsGCed uint64
 }
 
 // Stats returns a copy of the Store's counters.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		BatchesApplied:     s.stats.batchesApplied.Load(),
 		EdgesEnqueued:      s.stats.edgesEnqueued.Load(),
 		CoalescedBatches:   s.stats.coalescedBatches.Load(),
@@ -1061,4 +1150,14 @@ func (s *Store) Stats() Stats {
 		MovedVertices:      s.rebStats.movedVertices.Load(),
 		MovedEdges:         s.rebStats.movedEdges.Load(),
 	}
+	if d := s.dur; d != nil && d.log != nil {
+		ls := d.log.Stats()
+		st.WALRecords = ls.Records
+		st.WALBytes = ls.Bytes
+		st.WALFsyncs = ls.Syncs
+		st.WALAppendErrors = ls.AppendErrors
+		st.Checkpoints = d.checkpoints.Load()
+		st.SegmentsGCed = d.segsGCed.Load()
+	}
+	return st
 }

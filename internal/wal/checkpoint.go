@@ -1,0 +1,329 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint directory naming: ckpt-<seq> with a 16-digit decimal
+// sequence number, so lexical order is publish order. A trailing ".tmp"
+// marks an unpublished (crashed or in-progress) write.
+const (
+	ckptPrefix    = "ckpt-"
+	ckptTmpSuffix = ".tmp"
+	manifestName  = "MANIFEST.json"
+	// manifestFormat is bumped on incompatible layout changes; loaders
+	// reject unknown formats rather than guessing.
+	manifestFormat = 1
+)
+
+// Checkpoint is one durable snapshot of the store: the logical vertex
+// bound, the partition layout, per-shard local CSRs, and the per-shard-log
+// watermarks that tell replay which records the snapshot already reflects.
+type Checkpoint struct {
+	// N is the logical vertex-space bound at the pinned view.
+	N uint32
+	// Starts are the partition map's range starts (Starts[i] is shard i's
+	// first vertex). Informational: recovery may rebuild with a different
+	// layout; edges are layout-independent.
+	Starts []uint32
+	// Watermarks[d] is the highest LSN of shard log directory d whose
+	// record is reflected in this checkpoint. len(Watermarks) covers every
+	// log directory on disk at checkpoint time, which can exceed
+	// len(Shards) after a shard-count change.
+	Watermarks []uint64
+	// Shards are the pinned per-shard local CSR snapshots, in shard order.
+	Shards []ShardSnap
+}
+
+// ShardSnap is one shard's pinned local CSR: offsets indexed by slot
+// within the shard, adjacency holding global vertex IDs.
+type ShardSnap struct {
+	// Base is the shard's first global vertex ID at the pinned view.
+	Base uint32
+	// Offs is the CSR offset array, len = vertices+1.
+	Offs []uint64
+	// Adj is the concatenated adjacency, len = Offs[len(Offs)-1].
+	Adj []uint32
+}
+
+// manifest is the JSON index of a checkpoint directory; the shard CSR
+// files it names are validated against the recorded CRCs on load.
+type manifest struct {
+	Format     int             `json:"format"`
+	N          uint32          `json:"n"`
+	Starts     []uint32        `json:"starts"`
+	Watermarks []uint64        `json:"watermarks"`
+	Shards     []manifestShard `json:"shards"`
+}
+
+type manifestShard struct {
+	File     string `json:"file"`
+	CRC      uint32 `json:"crc"`
+	Base     uint32 `json:"base"`
+	Vertices uint32 `json:"vertices"`
+	Edges    uint64 `json:"edges"`
+}
+
+// ckptDirName formats the published directory name for sequence seq.
+func ckptDirName(seq uint64) string { return fmt.Sprintf("%s%016d", ckptPrefix, seq) }
+
+// parseCkptDir extracts the sequence from a published checkpoint dir
+// name; tmp dirs and foreign names return ok=false.
+func parseCkptDir(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || strings.HasSuffix(name, ckptTmpSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimPrefix(name, ckptPrefix), 10, 64)
+	return seq, err == nil
+}
+
+// listCheckpoints returns published checkpoint sequences, ascending.
+func listCheckpoints(root string) []uint64 {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseCkptDir(e.Name()); ok && e.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+	return seqs
+}
+
+// shardSnapName formats the CSR file name for shard i.
+func shardSnapName(i int) string { return fmt.Sprintf("shard-%03d.snap", i) }
+
+// encodeShardSnap serializes one shard CSR: offs as uint64 LE then adj as
+// uint32 LE. Sizes come from the manifest, integrity from its CRC.
+func encodeShardSnap(sh *ShardSnap) []byte {
+	b := make([]byte, 8*len(sh.Offs)+4*len(sh.Adj))
+	off := 0
+	for _, v := range sh.Offs {
+		binary.LittleEndian.PutUint64(b[off:off+8], v)
+		off += 8
+	}
+	for _, v := range sh.Adj {
+		binary.LittleEndian.PutUint32(b[off:off+4], v)
+		off += 4
+	}
+	return b
+}
+
+// decodeShardSnap parses a shard CSR file of nv vertices and m edges,
+// validating the byte length.
+func decodeShardSnap(b []byte, base, nv uint32, m uint64) (ShardSnap, error) {
+	want := 8*(uint64(nv)+1) + 4*m
+	if uint64(len(b)) != want {
+		return ShardSnap{}, fmt.Errorf("%w: shard snap is %d bytes, manifest says %d", ErrCorrupt, len(b), want)
+	}
+	sh := ShardSnap{Base: base, Offs: make([]uint64, nv+1), Adj: make([]uint32, m)}
+	off := 0
+	for i := range sh.Offs {
+		sh.Offs[i] = binary.LittleEndian.Uint64(b[off : off+8])
+		off += 8
+	}
+	for i := range sh.Adj {
+		sh.Adj[i] = binary.LittleEndian.Uint32(b[off : off+4])
+		off += 4
+	}
+	if sh.Offs[0] != 0 || sh.Offs[nv] != m {
+		return ShardSnap{}, fmt.Errorf("%w: shard snap offsets inconsistent", ErrCorrupt)
+	}
+	for i := 1; i < len(sh.Offs); i++ {
+		if sh.Offs[i] < sh.Offs[i-1] {
+			return ShardSnap{}, fmt.Errorf("%w: shard snap offsets not monotone", ErrCorrupt)
+		}
+	}
+	return sh, nil
+}
+
+// WriteCheckpoint publishes ck atomically: shard files and manifest are
+// written into a ".tmp" directory, fsynced, and renamed into place; a
+// crash at any point leaves either the previous checkpoint or the new one,
+// never a half state. Older checkpoints beyond the newest two are pruned.
+// The caller (serve layer) rotates and GCs log segments only after a nil
+// return, so a kill between rename and return (EvCheckpointDone) leaves
+// the log intact for the next recovery.
+func (l *Log) WriteCheckpoint(ck *Checkpoint) error {
+	if l.died.Load() {
+		return ErrKilled
+	}
+	root := filepath.Join(l.dir, "checkpoint")
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("wal: checkpoint root: %w", err)
+	}
+	var seq uint64 = 1
+	if seqs := listCheckpoints(root); len(seqs) > 0 {
+		seq = seqs[len(seqs)-1] + 1
+	}
+	tmp := filepath.Join(root, ckptDirName(seq)+ckptTmpSuffix)
+	os.RemoveAll(tmp)
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return fmt.Errorf("wal: checkpoint tmp: %w", err)
+	}
+	if h := l.opt.Hook; h != nil {
+		if h(Event{Kind: EvCheckpointFile}) != Continue {
+			// Crash mid-tmp-write: leave a partial, never-renamed directory
+			// behind; recovery must ignore it.
+			os.WriteFile(filepath.Join(tmp, shardSnapName(0)), []byte("partial"), 0o644)
+			l.die()
+			return ErrKilled
+		}
+	}
+	m := manifest{
+		Format:     manifestFormat,
+		N:          ck.N,
+		Starts:     append([]uint32(nil), ck.Starts...),
+		Watermarks: append([]uint64(nil), ck.Watermarks...),
+	}
+	for i := range ck.Shards {
+		sh := &ck.Shards[i]
+		data := encodeShardSnap(sh)
+		name := shardSnapName(i)
+		if err := writeFileSync(filepath.Join(tmp, name), data); err != nil {
+			return err
+		}
+		m.Shards = append(m.Shards, manifestShard{
+			File:     name,
+			CRC:      crc32.Checksum(data, crcTable),
+			Base:     sh.Base,
+			Vertices: uint32(len(sh.Offs) - 1),
+			Edges:    uint64(len(sh.Adj)),
+		})
+	}
+	mb, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	if err := writeFileSync(filepath.Join(tmp, manifestName), mb); err != nil {
+		return err
+	}
+	if err := syncDir(tmp); err != nil {
+		return err
+	}
+	final := filepath.Join(root, ckptDirName(seq))
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: publish checkpoint: %w", err)
+	}
+	if err := syncDir(root); err != nil {
+		return err
+	}
+	if obsOn() {
+		obsCheckpoints.Inc()
+	}
+	if h := l.opt.Hook; h != nil {
+		if h(Event{Kind: EvCheckpointDone}) != Continue {
+			l.die()
+			return ErrKilled
+		}
+	}
+	// Prune: keep the new checkpoint and its predecessor (the predecessor
+	// is the fallback if the new one is later found damaged), drop the
+	// rest plus any stray tmp dirs.
+	for _, old := range listCheckpoints(root) {
+		if old+1 < seq {
+			os.RemoveAll(filepath.Join(root, ckptDirName(old)))
+		}
+	}
+	if entries, err := os.ReadDir(root); err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ckptTmpSuffix) && e.Name() != filepath.Base(tmp) {
+				os.RemoveAll(filepath.Join(root, e.Name()))
+			}
+		}
+	}
+	return nil
+}
+
+// LoadLatestCheckpoint returns the newest checkpoint under dir that
+// passes manifest and CRC validation, or (nil, nil) when none exists.
+// A damaged newest checkpoint falls back to its predecessor — the reason
+// WriteCheckpoint retains two.
+func LoadLatestCheckpoint(dir string) (*Checkpoint, error) {
+	root := filepath.Join(dir, "checkpoint")
+	seqs := listCheckpoints(root)
+	for i := len(seqs) - 1; i >= 0; i-- {
+		ck, err := loadCheckpoint(filepath.Join(root, ckptDirName(seqs[i])))
+		if err == nil {
+			return ck, nil
+		}
+	}
+	return nil, nil
+}
+
+// loadCheckpoint reads and validates one published checkpoint directory.
+func loadCheckpoint(path string) (*Checkpoint, error) {
+	mb, err := os.ReadFile(filepath.Join(path, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("wal: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("%w: manifest format %d (want %d)", ErrCorrupt, m.Format, manifestFormat)
+	}
+	ck := &Checkpoint{N: m.N, Starts: m.Starts, Watermarks: m.Watermarks}
+	for _, ms := range m.Shards {
+		if ms.File != filepath.Base(ms.File) {
+			return nil, fmt.Errorf("%w: manifest names file outside checkpoint dir", ErrCorrupt)
+		}
+		data, err := os.ReadFile(filepath.Join(path, ms.File))
+		if err != nil {
+			return nil, fmt.Errorf("wal: read shard snap: %w", err)
+		}
+		if crc32.Checksum(data, crcTable) != ms.CRC {
+			return nil, fmt.Errorf("%w: shard snap %s crc mismatch", ErrCorrupt, ms.File)
+		}
+		sh, err := decodeShardSnap(data, ms.Base, ms.Vertices, ms.Edges)
+		if err != nil {
+			return nil, err
+		}
+		ck.Shards = append(ck.Shards, sh)
+	}
+	return ck, nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so its entries (new files, renames) are
+// durable.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALDecode feeds arbitrary bytes to the segment scanner and checks
+// the decode invariants that recovery correctness rests on:
+//
+//   - never panic, whatever the input;
+//   - the consumed clean prefix re-scans to exactly the same records
+//     (truncating to it is safe and idempotent);
+//   - every decoded record re-encodes to the bytes it was decoded from
+//     (no record can be mis-read and still pass the CRC);
+//   - a clean scan consumes the whole input, a dirty one reports an error.
+//
+// Seeds cover an empty segment, valid multi-record segments, truncated
+// tails, bit-flipped frames, and garbage-appended tails.
+func FuzzWALDecode(f *testing.F) {
+	f.Add([]byte{})
+	var seg []byte
+	for lsn := uint64(1); lsn <= 3; lsn++ {
+		r := Record{LSN: lsn, Batch: lsn, Op: uint8(lsn % 2), Src: []uint32{1, 2, 3}, Dst: []uint32{4, 5, 6}}
+		seg = appendRecord(seg, &r)
+	}
+	f.Add(seg)                                    // clean multi-record segment
+	f.Add(seg[:len(seg)-7])                       // torn tail
+	f.Add(append(append([]byte{}, seg...), 9, 9)) // garbage-appended
+	flip := append([]byte(nil), seg...)
+	flip[len(flip)/2] ^= 0x10
+	f.Add(flip) // bit-flipped
+	empty := Record{LSN: 1}
+	f.Add(appendRecord(nil, &empty)) // zero-edge record
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var recs []Record
+		consumed, err := ScanSegment(data, func(r Record) error {
+			recs = append(recs, r)
+			return nil
+		})
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d out of range [0,%d]", consumed, len(data))
+		}
+		if err == nil && consumed != len(data) {
+			t.Fatalf("clean scan consumed %d of %d", consumed, len(data))
+		}
+		if err != nil && consumed == len(data) {
+			t.Fatalf("dirty scan consumed everything: %v", err)
+		}
+
+		// The clean prefix must re-scan to the identical record sequence —
+		// the truncation recovery performs cannot change what replays.
+		var again []Record
+		consumed2, err2 := ScanSegment(data[:consumed], func(r Record) error {
+			again = append(again, r)
+			return nil
+		})
+		if err2 != nil || consumed2 != consumed {
+			t.Fatalf("clean prefix did not re-scan cleanly: consumed %d vs %d, err %v", consumed2, consumed, err2)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("re-scan record count %d vs %d", len(again), len(recs))
+		}
+
+		// Round-trip: re-encoding the decoded records must reproduce the
+		// clean prefix byte for byte.
+		var re []byte
+		for i := range recs {
+			re = appendRecord(re, &recs[i])
+		}
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encoded records differ from clean prefix (%d vs %d bytes)", len(re), consumed)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package wal
+
+// EventKind identifies a durability lifecycle point at which a Hook fires.
+type EventKind int
+
+const (
+	// EvAppend fires inside Log.Append, under the shard lock, before the
+	// record's bytes are written. Killing here loses the record (Kill) or
+	// leaves a torn half-written frame behind (KillTorn).
+	EvAppend EventKind = iota
+	// EvSync fires immediately before an fsync — in Append for
+	// FsyncAlways (after the record's bytes are written), and in
+	// Sync/SyncAll for the timer and flush paths. Killing here models a
+	// crash after the write but before the fsync.
+	EvSync
+	// EvCheckpointFile fires inside WriteCheckpoint before the shard
+	// snapshot files are written into the tmp directory. Killing here
+	// abandons a partially written, never-renamed checkpoint.
+	EvCheckpointFile
+	// EvCheckpointDone fires after the checkpoint directory has been
+	// atomically renamed into place but before WriteCheckpoint returns.
+	// Killing here models a crash between checkpoint publish and the
+	// caller's segment GC.
+	EvCheckpointDone
+	// EvReplayRecord fires during Replay before each surviving record is
+	// handed to the apply callback. Killing here models a crash mid-
+	// recovery; a subsequent reopen must still converge.
+	EvReplayRecord
+)
+
+// String names the event kind for test output.
+func (k EventKind) String() string {
+	switch k {
+	case EvAppend:
+		return "append"
+	case EvSync:
+		return "sync"
+	case EvCheckpointFile:
+		return "checkpoint-file"
+	case EvCheckpointDone:
+		return "checkpoint-done"
+	case EvReplayRecord:
+		return "replay-record"
+	}
+	return "unknown"
+}
+
+// Action is a Hook's verdict at one lifecycle event.
+type Action int
+
+const (
+	// Continue proceeds normally.
+	Continue Action = iota
+	// Kill marks the log dead before the event's effect: the current
+	// operation fails with ErrKilled and every later file operation is a
+	// no-op, freezing the on-disk state as a crash would.
+	Kill
+	// KillTorn is Kill, but an EvAppend additionally writes the first half
+	// of the record frame before dying — the classic torn tail a real
+	// crash leaves mid-write. At other events it behaves like Kill.
+	KillTorn
+)
+
+// Event describes one lifecycle point. For EvAppend and EvReplayRecord the
+// payload fields are set; Src/Dst alias caller or scan buffers and must be
+// copied if retained.
+type Event struct {
+	Kind  EventKind
+	Shard int
+	LSN   uint64
+	Op    uint8
+	Src   []uint32
+	Dst   []uint32
+}
+
+// Hook observes durability lifecycle events and may inject a crash. It is
+// called synchronously under the owning shard's log lock (EvAppend,
+// EvSync) or from the checkpoint/replay caller's goroutine; it must not
+// call back into the Log.
+type Hook func(Event) Action

@@ -1,0 +1,519 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// segSuffix is the segment file extension; names are the 16-hex-digit
+// first LSN of the segment plus this suffix, so lexical order is LSN
+// order.
+const segSuffix = ".wal"
+
+// segName formats the file name of a segment whose first record is lsn.
+func segName(lsn uint64) string { return fmt.Sprintf("%016x%s", lsn, segSuffix) }
+
+// parseSegName returns the first LSN encoded in a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)
+	return lsn, err == nil
+}
+
+// shardDirName formats the per-shard log directory name.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// parseShardDir returns the shard index encoded in a log directory name.
+func parseShardDir(name string) (int, bool) {
+	if !strings.HasPrefix(name, "shard-") {
+		return 0, false
+	}
+	i, err := strconv.Atoi(strings.TrimPrefix(name, "shard-"))
+	return i, err == nil && i >= 0
+}
+
+// shardLog is one shard's append stream: an active segment file plus an
+// encode scratch buffer, guarded by mu so the file's record order equals
+// the shard queue's enqueue order.
+type shardLog struct {
+	mu   sync.Mutex
+	dir  string
+	f    *os.File
+	size int64
+	buf  []byte
+}
+
+// LogStats is a point-in-time copy of a Log's always-on counters.
+type LogStats struct {
+	// Records counts appended (written) records.
+	Records uint64
+	// Bytes counts framed bytes written to segment files.
+	Bytes uint64
+	// Syncs counts fsync calls across all shards.
+	Syncs uint64
+	// Rotations counts sealed segments.
+	Rotations uint64
+	// AppendErrors counts appends that failed to reach the file (I/O
+	// error or killed log); the serving layer keeps applying in memory and
+	// surfaces the count as a degraded-durability signal.
+	AppendErrors uint64
+}
+
+// Log is the write side of the durability directory: one append stream
+// per shard, a global LSN counter, and the group-commit machinery.
+// Append/Sync are safe for concurrent use; Close stops the interval
+// syncer and seals the active segments.
+type Log struct {
+	dir    string // durability root; segments live under dir/wal
+	opt    Options
+	shards []*shardLog
+	// dirs is the number of shard log directories present on disk, which
+	// can exceed len(shards) after a shard-count change; checkpoint
+	// watermarks must cover all of them so stale dirs stay GC-able.
+	dirs int
+
+	last   atomic.Uint64 // last assigned LSN
+	died   atomic.Bool   // fault injection: all file ops are no-ops
+	closed atomic.Bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+
+	stats struct {
+		records      atomic.Uint64
+		bytes        atomic.Uint64
+		syncs        atomic.Uint64
+		rotations    atomic.Uint64
+		appendErrors atomic.Uint64
+	}
+}
+
+// OpenLog opens (creating as needed) the append side of a durability
+// directory for shards append streams, with LSNs continuing after last —
+// the highest LSN recovery observed, or 0 for a fresh directory. Torn
+// tails must already have been truncated (Replay does this); OpenLog
+// appends to each shard's newest segment as-is.
+func OpenLog(dir string, shards int, last uint64, opt Options) (*Log, error) {
+	opt.sanitize()
+	if shards < 1 {
+		shards = 1
+	}
+	walRoot := filepath.Join(dir, "wal")
+	l := &Log{dir: dir, opt: opt, shards: make([]*shardLog, shards), dirs: shards}
+	l.last.Store(last)
+	for i := range l.shards {
+		sd := filepath.Join(walRoot, shardDirName(i))
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return nil, fmt.Errorf("wal: create shard dir: %w", err)
+		}
+		sl := &shardLog{dir: sd}
+		segs, err := listSegments(sd)
+		if err != nil {
+			return nil, err
+		}
+		if len(segs) > 0 {
+			// Continue appending to the newest segment.
+			path := filepath.Join(sd, segName(segs[len(segs)-1]))
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("wal: open segment: %w", err)
+			}
+			st, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: stat segment: %w", err)
+			}
+			sl.f, sl.size = f, st.Size()
+		}
+		l.shards[i] = sl
+	}
+	if entries, err := os.ReadDir(walRoot); err == nil {
+		for _, e := range entries {
+			if i, ok := parseShardDir(e.Name()); ok && i+1 > l.dirs {
+				l.dirs = i + 1
+			}
+		}
+	}
+	if opt.Fsync == FsyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// listSegments returns the first-LSNs of dir's segment files, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if lsn, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, lsn)
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	return segs, nil
+}
+
+// NumDirs returns the number of shard log directories the checkpoint
+// watermark vector must cover (live shards plus any stale directories
+// left by an earlier shard-count change).
+func (l *Log) NumDirs() int { return l.dirs }
+
+// LastLSN returns the most recently assigned LSN.
+func (l *Log) LastLSN() uint64 { return l.last.Load() }
+
+// Append frames one shard batch, assigns it the next global LSN, and
+// writes it to the shard's active segment. Under FsyncAlways the record
+// is fsynced before Append returns. The returned LSN is valid even when
+// err is non-nil (the record was assigned a number but may not be
+// durable). Src/dst are read synchronously; the caller keeps ownership.
+func (l *Log) Append(shard int, op uint8, batch uint64, src, dst []uint32) (uint64, error) {
+	return l.Begin(shard, op, batch, src, dst).Commit()
+}
+
+// Appender is one reserved append slot: Begin fixes the record's position
+// in the shard's stream and captures its content; Commit performs the
+// file write. The shard's log lock is held from Begin to Commit, so a
+// caller that serializes appends with its own ordering lock can release
+// that lock before the write syscall without letting another record slip
+// in between. The zero Appender commits as a failed append.
+type Appender struct {
+	l     *Log
+	sl    *shardLog
+	shard int
+	lsn   uint64
+	err   error
+}
+
+// LSN returns the reserved record's sequence number (0 when Begin
+// failed before assigning one).
+func (a Appender) LSN() uint64 { return a.lsn }
+
+// Err returns Begin's failure, or nil when the slot is writable.
+func (a Appender) Err() error { return a.err }
+
+// Begin reserves the next record slot on shard's stream: it assigns the
+// LSN, runs the fault-injection hook, and encodes the frame into the
+// shard's scratch buffer, leaving the shard log locked until Commit.
+// Call it under whatever lock defines the shard's apply order — the WAL
+// order is fixed here — then Commit after releasing that lock, keeping
+// the write syscall out of the critical section. Src/dst are captured by
+// the encode; the caller may reuse them once Begin returns.
+func (l *Log) Begin(shard int, op uint8, batch uint64, src, dst []uint32) Appender {
+	if l.died.Load() {
+		l.stats.appendErrors.Add(1)
+		return Appender{err: ErrKilled}
+	}
+	if l.closed.Load() {
+		l.stats.appendErrors.Add(1)
+		return Appender{err: ErrClosed}
+	}
+	sl := l.shards[shard]
+	sl.mu.Lock()
+	if l.died.Load() {
+		sl.mu.Unlock()
+		l.stats.appendErrors.Add(1)
+		return Appender{err: ErrKilled}
+	}
+	lsn := l.last.Add(1)
+	rec := Record{LSN: lsn, Batch: batch, Op: op, Src: src, Dst: dst}
+	if h := l.opt.Hook; h != nil {
+		switch h(Event{Kind: EvAppend, Shard: shard, LSN: lsn, Op: op, Src: src, Dst: dst}) {
+		case Kill:
+			l.die()
+			sl.mu.Unlock()
+			l.stats.appendErrors.Add(1)
+			return Appender{lsn: lsn, err: ErrKilled}
+		case KillTorn:
+			// Write half the frame, then die: the torn tail a real crash
+			// leaves mid-write. Recovery must truncate it away.
+			sl.buf = appendRecord(sl.buf[:0], &rec)
+			if err := sl.ensureSegment(lsn); err == nil {
+				sl.f.Write(sl.buf[:len(sl.buf)/2])
+			}
+			l.die()
+			sl.mu.Unlock()
+			l.stats.appendErrors.Add(1)
+			return Appender{lsn: lsn, err: ErrKilled}
+		}
+	}
+	sl.buf = appendRecord(sl.buf[:0], &rec)
+	return Appender{l: l, sl: sl, shard: shard, lsn: lsn}
+}
+
+// Commit writes the frame reserved by Begin to the shard's active
+// segment (rotating it first when full), fsyncs under FsyncAlways, and
+// releases the slot. The returned LSN is Begin's even on error.
+func (a Appender) Commit() (uint64, error) {
+	if a.l == nil {
+		return a.lsn, a.err
+	}
+	l, sl := a.l, a.sl
+	defer sl.mu.Unlock()
+	if sl.f != nil && sl.size > 0 && sl.size+int64(len(sl.buf)) > l.opt.SegmentBytes {
+		if err := sl.seal(); err != nil {
+			l.stats.appendErrors.Add(1)
+			return a.lsn, err
+		}
+		l.stats.rotations.Add(1)
+	}
+	if err := sl.ensureSegment(a.lsn); err != nil {
+		l.stats.appendErrors.Add(1)
+		return a.lsn, err
+	}
+	n, err := sl.f.Write(sl.buf)
+	sl.size += int64(n)
+	if err != nil {
+		l.stats.appendErrors.Add(1)
+		return a.lsn, fmt.Errorf("wal: append: %w", err)
+	}
+	l.stats.records.Add(1)
+	l.stats.bytes.Add(uint64(n))
+	if obsOn() {
+		obsWALRecords.Inc()
+		obsWALBytes.Add(uint64(n))
+	}
+	if l.opt.Fsync == FsyncAlways {
+		if err := l.syncLocked(sl, a.shard, a.lsn); err != nil {
+			return a.lsn, err
+		}
+	}
+	return a.lsn, nil
+}
+
+// ensureSegment opens a fresh segment named for lsn when the shard has no
+// active file.
+func (sl *shardLog) ensureSegment(lsn uint64) error {
+	if sl.f != nil {
+		return nil
+	}
+	f, err := os.OpenFile(filepath.Join(sl.dir, segName(lsn)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	sl.f, sl.size = f, 0
+	return nil
+}
+
+// seal fsyncs and closes the active segment; the next append starts a new
+// one. Callers hold sl.mu.
+func (sl *shardLog) seal() error {
+	if sl.f == nil {
+		return nil
+	}
+	err := sl.f.Sync()
+	if cerr := sl.f.Close(); err == nil {
+		err = cerr
+	}
+	sl.f = nil
+	sl.size = 0
+	if err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	return nil
+}
+
+// syncLocked runs the pre-sync hook and fsyncs sl's active segment.
+// Callers hold sl.mu.
+func (l *Log) syncLocked(sl *shardLog, shard int, lsn uint64) error {
+	if l.died.Load() {
+		return ErrKilled
+	}
+	if h := l.opt.Hook; h != nil {
+		if h(Event{Kind: EvSync, Shard: shard, LSN: lsn}) != Continue {
+			l.die()
+			return ErrKilled
+		}
+	}
+	if sl.f == nil {
+		return nil
+	}
+	if err := sl.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.stats.syncs.Add(1)
+	if obsOn() {
+		obsWALSyncs.Inc()
+	}
+	return nil
+}
+
+// Sync fsyncs one shard's active segment.
+func (l *Log) Sync(shard int) error {
+	sl := l.shards[shard]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return l.syncLocked(sl, shard, l.last.Load())
+}
+
+// SyncAll fsyncs every shard's active segment — the durability barrier
+// behind Store.Flush, regardless of policy. The first error is returned
+// but every shard is attempted.
+func (l *Log) SyncAll() error {
+	var first error
+	for i := range l.shards {
+		if err := l.Sync(i); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Rotate seals every shard's active segment so the next checkpoint's GC
+// can consider the whole current tail. Called after a checkpoint publish.
+func (l *Log) Rotate() error {
+	if l.died.Load() {
+		return ErrKilled
+	}
+	var first error
+	for _, sl := range l.shards {
+		sl.mu.Lock()
+		if err := sl.seal(); err != nil && first == nil {
+			first = err
+		} else if err == nil {
+			l.stats.rotations.Add(1)
+		}
+		sl.mu.Unlock()
+	}
+	return first
+}
+
+// GC removes sealed segments wholly covered by the checkpoint watermarks:
+// segment k of a shard directory is removable when the next segment's
+// first LSN is at or below wm+1 (every record in k has LSN ≤ wm) and k is
+// not the newest segment of a live shard. For stale directories beyond
+// the live shard count the newest segment is removable too (their entire
+// content is below their watermark by construction), and an emptied stale
+// directory is removed. Returns the number of segments deleted.
+func (l *Log) GC(wms []uint64) (int, error) {
+	if l.died.Load() {
+		return 0, ErrKilled
+	}
+	walRoot := filepath.Join(l.dir, "wal")
+	removed := 0
+	var firstErr error
+	for dirIdx := 0; dirIdx < l.dirs; dirIdx++ {
+		var wm uint64
+		if dirIdx < len(wms) {
+			wm = wms[dirIdx]
+		}
+		sd := filepath.Join(walRoot, shardDirName(dirIdx))
+		live := dirIdx < len(l.shards)
+		var sl *shardLog
+		if live {
+			sl = l.shards[dirIdx]
+			sl.mu.Lock()
+		}
+		segs, err := listSegments(sd)
+		if err == nil {
+			for k, segFirst := range segs {
+				covered := false
+				if k+1 < len(segs) {
+					covered = segs[k+1] <= wm+1
+				} else if !live {
+					covered = true // stale dir: everything is below its watermark
+				}
+				if !covered || segFirst > wm {
+					continue
+				}
+				if rmErr := os.Remove(filepath.Join(sd, segName(segFirst))); rmErr == nil {
+					removed++
+					if obsOn() {
+						obsWALSegGC.Inc()
+					}
+				}
+			}
+		} else if firstErr == nil {
+			firstErr = err
+		}
+		if live {
+			sl.mu.Unlock()
+		} else {
+			os.Remove(sd) // succeeds only once emptied
+		}
+	}
+	return removed, firstErr
+}
+
+// syncLoop is the FsyncInterval group-commit timer.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opt.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-t.C:
+			if l.died.Load() || l.closed.Load() {
+				return
+			}
+			l.SyncAll()
+		}
+	}
+}
+
+// die freezes the log: every subsequent file operation is a no-op, so the
+// on-disk state is exactly what a kill -9 at this instant would leave.
+func (l *Log) die() { l.died.Store(true) }
+
+// Kill is die for tests and the crash harness: it simulates a hard stop
+// without going through a hook.
+func (l *Log) Kill() { l.die() }
+
+// Killed reports whether fault injection has frozen the log.
+func (l *Log) Killed() bool { return l.died.Load() }
+
+// Close stops the interval syncer and seals the active segments (skipping
+// the final sync+seal when the log was killed, to preserve crash state).
+// Append after Close returns ErrClosed.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+	}
+	var first error
+	for _, sl := range l.shards {
+		sl.mu.Lock()
+		if l.died.Load() {
+			if sl.f != nil {
+				sl.f.Close()
+				sl.f = nil
+			}
+		} else if err := sl.seal(); err != nil && first == nil {
+			first = err
+		}
+		sl.mu.Unlock()
+	}
+	return first
+}
+
+// Stats returns a copy of the log's counters.
+func (l *Log) Stats() LogStats {
+	return LogStats{
+		Records:      l.stats.records.Load(),
+		Bytes:        l.stats.bytes.Load(),
+		Syncs:        l.stats.syncs.Load(),
+		Rotations:    l.stats.rotations.Load(),
+		AppendErrors: l.stats.appendErrors.Load(),
+	}
+}

@@ -1,0 +1,25 @@
+package wal
+
+import "lsgraph/internal/obs"
+
+// Durability metrics (internal/obs registry). Gated on obs.Enabled() like
+// every other subsystem; the Log also keeps always-on plain-atomic
+// counters (LogStats) for tests and benchmarks that run with collection
+// off.
+var (
+	obsWALRecords = obs.NewCounter("lsgraph_wal_records_total", "",
+		"shard-batch records appended to the write-ahead log")
+	obsWALBytes = obs.NewCounter("lsgraph_wal_bytes_total", "",
+		"framed bytes written to WAL segment files")
+	obsWALSyncs = obs.NewCounter("lsgraph_wal_fsyncs_total", "",
+		"fsync calls on WAL segment files (group-commit policy dependent)")
+	obsWALSegGC = obs.NewCounter("lsgraph_wal_segments_gced_total", "",
+		"sealed WAL segments deleted after a checkpoint covered them")
+	obsCheckpoints = obs.NewCounter("lsgraph_wal_checkpoints_total", "",
+		"checkpoints published (atomic tmp+rename completed)")
+	obsReplayRecords = obs.NewCounter("lsgraph_wal_replay_records_total", "",
+		"WAL records re-applied during recovery")
+)
+
+// obsOn is a local alias so hot paths read one atomic bool.
+func obsOn() bool { return obs.Enabled() }

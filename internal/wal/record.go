@@ -1,0 +1,156 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Op codes carried by a Record: the two durable mutations the serving
+// layer acknowledges. Flush sentinels and rebalance control entries are
+// not logged — the former are barriers, the latter pure layout (recovery
+// rebuilds layout from scratch).
+const (
+	// OpInsert marks a batch of edge insertions.
+	OpInsert uint8 = 0
+	// OpDelete marks a batch of edge deletions.
+	OpDelete uint8 = 1
+)
+
+// Frame layout: an 8-byte header — payload length (uint32 LE) then
+// CRC32-C of the payload (uint32 LE) — followed by the payload:
+//
+//	lsn uint64 | batch uint64 | op uint8 | count uint32 | src[count] uint32 | dst[count] uint32
+//
+// all little-endian. The CRC covers the payload only; a length field
+// corrupted upward reads as a torn tail (frame runs past EOF), corrupted
+// downward the CRC fails — either way the scan stops at the clean prefix.
+const (
+	frameHeaderBytes = 8
+	recordFixedBytes = 8 + 8 + 1 + 4
+	// maxRecordPayload bounds a decoded payload length so a corrupt length
+	// field cannot drive a huge allocation: 64Mi edges per shard record is
+	// far beyond anything the serving layer enqueues as one batch.
+	maxRecordPayload = recordFixedBytes + 8*(64<<20)
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64
+// and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one logged shard batch.
+type Record struct {
+	// LSN is the record's global log sequence number: assigned from one
+	// atomic counter across all shards, so sorting records from every
+	// shard's log by LSN recovers a valid global apply order.
+	LSN uint64
+	// Batch is the flight-recorder batch ID of the enqueue that produced
+	// the record (0 when tracing was off).
+	Batch uint64
+	// Op is OpInsert or OpDelete.
+	Op uint8
+	// Src and Dst are the batch's edge endpoints, parallel slices.
+	Src, Dst []uint32
+}
+
+// appendRecord appends r's framed encoding to buf and returns it.
+func appendRecord(buf []byte, r *Record) []byte {
+	payload := recordFixedBytes + 8*len(r.Src)
+	start := len(buf)
+	total := frameHeaderBytes + payload
+	if cap(buf)-start >= total {
+		buf = buf[:start+total]
+	} else {
+		buf = append(buf, make([]byte, total)...)
+	}
+	b := buf[start:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(payload))
+	p := b[frameHeaderBytes:]
+	binary.LittleEndian.PutUint64(p[0:8], r.LSN)
+	binary.LittleEndian.PutUint64(p[8:16], r.Batch)
+	p[16] = r.Op
+	binary.LittleEndian.PutUint32(p[17:21], uint32(len(r.Src)))
+	off := recordFixedBytes
+	for _, v := range r.Src {
+		binary.LittleEndian.PutUint32(p[off:off+4], v)
+		off += 4
+	}
+	for _, v := range r.Dst {
+		binary.LittleEndian.PutUint32(p[off:off+4], v)
+		off += 4
+	}
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(p, crcTable))
+	return buf
+}
+
+// decodeRecord decodes the frame at the start of b. It returns the record,
+// the number of bytes consumed, and nil; or 0 consumed and ErrTorn (frame
+// runs past the end of b) or ErrCorrupt (CRC or structure check failed).
+// It never panics on arbitrary input.
+func decodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderBytes {
+		return Record{}, 0, ErrTorn
+	}
+	payload := int(binary.LittleEndian.Uint32(b[0:4]))
+	if payload < recordFixedBytes || payload > maxRecordPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d out of range", ErrCorrupt, payload)
+	}
+	if len(b) < frameHeaderBytes+payload {
+		return Record{}, 0, ErrTorn
+	}
+	want := binary.LittleEndian.Uint32(b[4:8])
+	p := b[frameHeaderBytes : frameHeaderBytes+payload]
+	if crc32.Checksum(p, crcTable) != want {
+		return Record{}, 0, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	count := int(binary.LittleEndian.Uint32(p[17:21]))
+	if payload != recordFixedBytes+8*count {
+		return Record{}, 0, fmt.Errorf("%w: count %d inconsistent with payload length %d", ErrCorrupt, count, payload)
+	}
+	r := Record{
+		LSN:   binary.LittleEndian.Uint64(p[0:8]),
+		Batch: binary.LittleEndian.Uint64(p[8:16]),
+		Op:    p[16],
+	}
+	if r.Op != OpInsert && r.Op != OpDelete {
+		return Record{}, 0, fmt.Errorf("%w: unknown op %d", ErrCorrupt, r.Op)
+	}
+	if count > 0 {
+		r.Src = make([]uint32, count)
+		r.Dst = make([]uint32, count)
+		off := recordFixedBytes
+		for i := 0; i < count; i++ {
+			r.Src[i] = binary.LittleEndian.Uint32(p[off : off+4])
+			off += 4
+		}
+		for i := 0; i < count; i++ {
+			r.Dst[i] = binary.LittleEndian.Uint32(p[off : off+4])
+			off += 4
+		}
+	}
+	return r, frameHeaderBytes + payload, nil
+}
+
+// ScanSegment decodes records from data in order, calling fn for each,
+// and returns the clean-prefix length: the byte offset of the first torn
+// or corrupt frame, or len(data) when every frame decoded. err is nil on
+// a clean scan, ErrTorn/ErrCorrupt (wrapped with offset context) when the
+// tail is bad, or fn's error (scanning stops where fn failed). The
+// returned prefix is always safe to truncate to: every byte before it is
+// a whole, CRC-valid record.
+func ScanSegment(data []byte, fn func(Record) error) (int, error) {
+	off := 0
+	for off < len(data) {
+		r, n, err := decodeRecord(data[off:])
+		if err != nil {
+			return off, fmt.Errorf("at offset %d: %w", off, err)
+		}
+		if fn != nil {
+			if err := fn(r); err != nil {
+				return off, err
+			}
+		}
+		off += n
+	}
+	return off, nil
+}

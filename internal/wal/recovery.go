@@ -1,0 +1,31 @@
+package wal
+
+// RecoveryStats summarizes one recovery: what OpenDurable (internal/serve)
+// loaded from the newest valid checkpoint and re-applied from the WAL.
+// The JSON field names are part of the /healthz payload served by
+// internal/httpserve.
+type RecoveryStats struct {
+	// CheckpointLoaded reports whether a valid checkpoint was found.
+	CheckpointLoaded bool `json:"checkpoint_loaded"`
+	// CheckpointVertices is the loaded checkpoint's logical vertex bound.
+	CheckpointVertices uint32 `json:"checkpoint_vertices"`
+	// CheckpointEdges counts edges bulk-loaded from the checkpoint.
+	CheckpointEdges uint64 `json:"checkpoint_edges"`
+	// ReplayedRecords counts WAL records re-applied past the watermarks.
+	ReplayedRecords uint64 `json:"replayed_records"`
+	// ReplayedEdges counts edges across replayed records.
+	ReplayedEdges uint64 `json:"replayed_edges"`
+	// Segments counts WAL segment files scanned.
+	Segments int `json:"segments"`
+	// TruncatedSegments counts segments whose torn or corrupt tail was
+	// truncated to the clean prefix.
+	TruncatedSegments int `json:"truncated_segments"`
+	// TornBytes is the total torn-tail length truncated away.
+	TornBytes int64 `json:"torn_bytes"`
+	// MaxLSN is the highest LSN observed in the log; new appends continue
+	// after it.
+	MaxLSN uint64 `json:"max_lsn"`
+	// DurationNanos is the recovery wall time, checkpoint load through
+	// replay apply.
+	DurationNanos int64 `json:"duration_nanos"`
+}

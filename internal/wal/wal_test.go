@@ -1,0 +1,312 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// appendN appends n single-edge insert records to shard and returns the
+// last LSN.
+func appendN(t *testing.T, l *Log, shard, n int) uint64 {
+	t.Helper()
+	var last uint64
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(shard, OpInsert, 0, []uint32{uint32(i)}, []uint32{uint32(i + 1)})
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		last = lsn
+	}
+	return last
+}
+
+func replayAll(t *testing.T, dir string) ([]Record, uint64, ReplayStats) {
+	t.Helper()
+	var recs []Record
+	maxLSN, st, err := Replay(dir, func(int) uint64 { return 0 }, nil, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, maxLSN, st
+}
+
+func TestLogAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 2, 0, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(0, OpInsert, 7, []uint32{1, 2}, []uint32{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(1, OpDelete, 8, []uint32{5}, []uint32{6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(0, OpInsert, 9, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, maxLSN, _ := replayAll(t, dir)
+	if len(recs) != 3 || maxLSN != 3 {
+		t.Fatalf("got %d records maxLSN=%d", len(recs), maxLSN)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d out of LSN order: %d", i, r.LSN)
+		}
+	}
+	if recs[1].Op != OpDelete || recs[1].Src[0] != 5 || recs[1].Dst[0] != 6 || recs[1].Batch != 8 {
+		t.Fatalf("record payload mismatch: %+v", recs[1])
+	}
+
+	// Reopen continues LSNs after the observed max.
+	l2, err := OpenLog(dir, 2, maxLSN, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l2.Append(0, OpInsert, 0, []uint32{9}, []uint32{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 4 {
+		t.Fatalf("LSN after reopen = %d, want 4", lsn)
+	}
+	l2.Close()
+}
+
+func TestReplayWatermarkSkips(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, 0, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 6)
+	l.Close()
+
+	var recs []Record
+	maxLSN, st, err := Replay(dir, func(int) uint64 { return 4 }, nil, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxLSN != 6 || len(recs) != 2 || recs[0].LSN != 5 || recs[1].LSN != 6 {
+		t.Fatalf("maxLSN=%d recs=%v", maxLSN, recs)
+	}
+	if st.RecordsScanned != 6 || st.RecordsReplayed != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReplayTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, 0, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 3)
+	l.Close()
+
+	// Tear the tail by appending garbage to the single segment.
+	sd := filepath.Join(dir, "wal", shardDirName(0))
+	segs, _ := listSegments(sd)
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d", len(segs))
+	}
+	path := filepath.Join(sd, segName(segs[0]))
+	clean, _ := os.Stat(path)
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Close()
+
+	recs, maxLSN, st := replayAll(t, dir)
+	if len(recs) != 3 || maxLSN != 3 {
+		t.Fatalf("after torn tail: %d records maxLSN=%d", len(recs), maxLSN)
+	}
+	if st.TruncatedSegments != 1 || st.TornBytes != 11 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != clean.Size() {
+		t.Fatalf("tail not truncated: %d vs %d", fi.Size(), clean.Size())
+	}
+	// Idempotent: a second replay sees the same clean state.
+	recs2, _, st2 := replayAll(t, dir)
+	if len(recs2) != 3 || st2.TruncatedSegments != 0 {
+		t.Fatalf("second replay: %d records, stats %+v", len(recs2), st2)
+	}
+}
+
+func TestRotationAndGC(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation.
+	l, err := OpenLog(dir, 1, 0, Options{Fsync: FsyncNone, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := appendN(t, l, 0, 20)
+	sd := filepath.Join(dir, "wal", shardDirName(0))
+	segs, _ := listSegments(sd)
+	if len(segs) < 2 {
+		t.Fatalf("no rotation at 128-byte segments: %d segment(s)", len(segs))
+	}
+
+	// GC with watermark at the last LSN removes every sealed segment but
+	// keeps the active one.
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := l.GC([]uint64{last})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := listSegments(sd)
+	if removed == 0 || len(after) != 1 {
+		t.Fatalf("GC removed %d, %d segments remain", removed, len(after))
+	}
+
+	// Appends continue cleanly post-GC, and replay sees only what GC kept.
+	appendN(t, l, 0, 2)
+	l.Close()
+	recs, maxLSN, _ := replayAll(t, dir)
+	if maxLSN != last+2 || len(recs) < 2 {
+		t.Fatalf("post-GC replay: %d records maxLSN=%d", len(recs), maxLSN)
+	}
+	for _, r := range recs {
+		if r.LSN < after[0] {
+			t.Fatalf("replayed record %d from a GC'd segment (first kept segment starts at %d)", r.LSN, after[0])
+		}
+	}
+}
+
+func TestCheckpointWriteLoadAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 2, 0, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ck1 := &Checkpoint{
+		N:          10,
+		Starts:     []uint32{0, 5},
+		Watermarks: []uint64{3, 4},
+		Shards: []ShardSnap{
+			{Base: 0, Offs: []uint64{0, 2, 2, 3, 3, 3}, Adj: []uint32{1, 9, 7}},
+			{Base: 5, Offs: []uint64{0, 0, 1, 1, 1, 1}, Adj: []uint32{0}},
+		},
+	}
+	if err := l.WriteCheckpoint(ck1); err != nil {
+		t.Fatal(err)
+	}
+	ck2 := &Checkpoint{N: 12, Starts: []uint32{0, 6}, Watermarks: []uint64{8, 9},
+		Shards: []ShardSnap{
+			{Base: 0, Offs: []uint64{0, 1}, Adj: []uint32{2}},
+			{Base: 6, Offs: []uint64{0, 0}, Adj: nil},
+		}}
+	if err := l.WriteCheckpoint(ck2); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadLatestCheckpoint(dir)
+	if err != nil || got == nil {
+		t.Fatalf("load: %v %v", got, err)
+	}
+	if got.N != 12 || got.Watermarks[0] != 8 || got.Shards[0].Adj[0] != 2 {
+		t.Fatalf("loaded wrong checkpoint: %+v", got)
+	}
+
+	// Corrupt the newest checkpoint's shard file: load must fall back to
+	// the previous one.
+	root := filepath.Join(dir, "checkpoint")
+	seqs := listCheckpoints(root)
+	newest := filepath.Join(root, ckptDirName(seqs[len(seqs)-1]))
+	if err := os.WriteFile(filepath.Join(newest, shardSnapName(0)), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadLatestCheckpoint(dir)
+	if err != nil || got == nil {
+		t.Fatalf("fallback load: %v %v", got, err)
+	}
+	if got.N != 10 || got.Shards[0].Adj[1] != 9 {
+		t.Fatalf("fallback returned wrong checkpoint: %+v", got)
+	}
+
+	// No valid checkpoint at all.
+	os.RemoveAll(root)
+	got, err = LoadLatestCheckpoint(dir)
+	if err != nil || got != nil {
+		t.Fatalf("empty load: %v %v", got, err)
+	}
+}
+
+func TestKilledLogFreezesDisk(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, 1, 0, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 3)
+	l.Kill()
+	if _, err := l.Append(0, OpInsert, 0, []uint32{1}, []uint32{2}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("append after kill: %v", err)
+	}
+	if err := l.WriteCheckpoint(&Checkpoint{N: 1, Shards: []ShardSnap{{Offs: []uint64{0, 0}}}}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("checkpoint after kill: %v", err)
+	}
+	if _, err := l.GC([]uint64{99}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("gc after kill: %v", err)
+	}
+	l.Close()
+	recs, _, _ := replayAll(t, dir)
+	if len(recs) != 3 {
+		t.Fatalf("disk state moved after kill: %d records", len(recs))
+	}
+}
+
+func TestAppendHookKillAndTorn(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		dir := t.TempDir()
+		action := Kill
+		if torn {
+			action = KillTorn
+		}
+		n := 0
+		hook := func(ev Event) Action {
+			if ev.Kind == EvAppend {
+				n++
+				if n == 3 {
+					return action
+				}
+			}
+			return Continue
+		}
+		l, err := OpenLog(dir, 1, 0, Options{Fsync: FsyncAlways, Hook: hook})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := l.Append(0, OpInsert, 0, []uint32{uint32(i)}, []uint32{uint32(i)}); err != nil {
+				if i != 2 || !errors.Is(err, ErrKilled) {
+					t.Fatalf("torn=%v append %d: %v", torn, i, err)
+				}
+			}
+		}
+		l.Close()
+		recs, maxLSN, st := replayAll(t, dir)
+		if len(recs) != 2 || maxLSN != 2 {
+			t.Fatalf("torn=%v: killed append leaked: %d records maxLSN=%d", torn, len(recs), maxLSN)
+		}
+		if torn && st.TruncatedSegments != 1 {
+			t.Fatalf("torn=%v: expected a truncated tail, stats %+v", torn, st)
+		}
+	}
+}

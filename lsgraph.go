@@ -98,10 +98,13 @@ type settings struct {
 	cfg           core.Config
 	maxQueue      int
 	autoRebalance float64
+	durDir        string
+	dur           DurabilityOptions
 }
 
 // Option configures a Graph or Store at construction; see WithAlpha,
-// WithM, WithWorkers, WithShards, WithMaxQueue, and WithAutoRebalance.
+// WithM, WithWorkers, WithShards, WithMaxQueue, WithAutoRebalance, and
+// WithDurability.
 type Option func(*settings)
 
 // WithAlpha sets the space amplification factor α (default 1.2): gapped

@@ -1,7 +1,8 @@
 #!/bin/sh
 # fuzz.sh -- short coverage-guided fuzzing pass over every fuzz target:
-# the data-structure models (ria, hitree), the I/O parsers (graphio), and
-# the engine-level differential simulators (check). Each target runs for
+# the data-structure models (ria, hitree), the I/O parsers (graphio), the
+# WAL segment decoder (wal), and the engine-level differential simulators
+# (check). Each target runs for
 # FUZZTIME (default 10s), seeded from the checked-in corpora under each
 # package's testdata/fuzz/. Crashers are written there too; commit them.
 # Usage: scripts/fuzz.sh  (or: make fuzz, FUZZTIME=1m scripts/fuzz.sh)
@@ -21,6 +22,7 @@ fuzz() {
 fuzz ./internal/ria FuzzOps
 fuzz ./internal/hitree FuzzTreeOps
 fuzz ./internal/graphio FuzzReadEdgeList
+fuzz ./internal/wal FuzzWALDecode
 fuzz ./internal/graphio FuzzReadCSR
 fuzz ./internal/check FuzzEngineOps
 fuzz ./internal/check FuzzStoreOps

@@ -1,8 +1,8 @@
 #!/bin/sh
 # race.sh -- the single source of truth for the race-detector package list:
 # every package with real cross-goroutine traffic (the sharded serving
-# layer, the batch pipeline, the worker pool, and the sharded metrics
-# registry). Both `make race` and scripts/verify.sh run this script, so the
+# layer, the per-shard WAL with its group-commit goroutine, the batch
+# pipeline, the worker pool, and the sharded metrics registry). Both `make race` and scripts/verify.sh run this script, so the
 # list cannot drift between them.
 #
 # Usage: scripts/race.sh [extra go-test flags...]
@@ -12,6 +12,7 @@ cd "$(dirname "$0")/.."
 
 go test -race "$@" \
 	lsgraph/internal/serve \
+	lsgraph/internal/wal \
 	lsgraph/internal/core \
 	lsgraph/internal/parallel \
 	lsgraph/internal/obs \

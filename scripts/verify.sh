@@ -30,6 +30,9 @@ go test -shuffle=on ./...
 echo "== differential simulator smoke (200 seeded workloads, S in {1,2,4,8})"
 go test -count=1 -run '^TestSimSeeds$' -timeout 10m ./internal/check
 
+echo "== crash-recovery matrix (kill-and-recover at every WAL lifecycle point, S in {1,2,4})"
+go test -count=1 -run '^TestCrash' -timeout 10m ./internal/check
+
 echo "== go test -race (scripts/race.sh)"
 sh scripts/race.sh
 

@@ -1,7 +1,6 @@
 package lsgraph
 
 import (
-	"lsgraph/internal/core"
 	"lsgraph/internal/serve"
 )
 
@@ -34,17 +33,17 @@ type Store struct {
 }
 
 // NewStore returns a Store over an empty graph with n vertex slots and
-// starts its writer goroutine. It accepts the same options as New. The
-// store's epoch 0 (the empty graph) is readable immediately.
+// starts its writer goroutines. It accepts the same options as New. The
+// store's epoch 0 (the empty graph) is readable immediately. With
+// WithDurability among the options, construction touches disk and may
+// recover prior state; NewStore panics on any such error — durable
+// callers should prefer OpenStore, which returns it instead.
 func NewStore(n uint32, opts ...Option) *Store {
-	var s settings
-	for _, o := range opts {
-		o(&s)
+	st, err := OpenStore(n, opts...)
+	if err != nil {
+		panic("lsgraph: NewStore: " + err.Error())
 	}
-	return &Store{st: serve.New(core.New(n, s.cfg), serve.Options{
-		MaxQueue:      s.maxQueue,
-		AutoRebalance: s.autoRebalance,
-	})}
+	return st
 }
 
 // InsertEdges enqueues a batch of edge insertions and returns immediately;
